@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation of POD-Attention's mechanisms (beyond the paper's
+ * figures; DESIGN.md S7): for the Table 1 hybrid configs, measure the
+ * fused kernel with each design choice individually altered --
+ * scheduling policy, prefill split policy, virtual decode CTA
+ * packing, forced CTAs/SM and the persistent-threads variant --
+ * against the full design and serial execution.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/attention.h"
+
+using namespace pod;
+using namespace pod::core;
+using namespace pod::bench;
+
+namespace {
+
+struct Variant
+{
+    const char* name;
+    AttnRunOptions options;
+};
+
+std::vector<Variant>
+Variants()
+{
+    std::vector<Variant> variants;
+    variants.push_back({"POD (full design)", AttnRunOptions()});
+
+    AttnRunOptions fifty;
+    fifty.pod.policy = SchedPolicy::kFiftyFifty;
+    variants.push_back({"  policy 50:50", fifty});
+
+    AttnRunOptions vanilla;
+    vanilla.pod.split_policy = SplitPolicy::kVanilla;
+    variants.push_back({"  vanilla prefill splits", vanilla});
+
+    AttnRunOptions no_virtual;
+    no_virtual.pod.virtual_ctas_per_physical = 1;
+    variants.push_back({"  no virtual decode CTAs", no_virtual});
+
+    AttnRunOptions two;
+    two.pod.ctas_per_sm = CtasPerSm::kTwo;
+    variants.push_back({"  forced 2 CTAs/SM", two});
+
+    AttnRunOptions four;
+    four.pod.ctas_per_sm = CtasPerSm::kFour;
+    variants.push_back({"  forced 4 CTAs/SM", four});
+
+    AttnRunOptions persistent;
+    persistent.pod.persistent = true;
+    variants.push_back({"  persistent threads (S4.4)", persistent});
+    return variants;
+}
+
+}  // namespace
+
+int
+main()
+{
+    Header("Ablation", "contribution of each POD-Attention mechanism");
+    gpusim::GpuSpec gpu = bench::A100();
+    kernels::AttnShape shape = Llama3Tp2Shape();
+
+    struct Config
+    {
+        const char* name;
+        int chunk, prefill_ctx, bs, decode_ctx;
+    };
+    const Config configs[] = {
+        {"C0 (memory-bound)", 1024, 12288, 80, 12288},
+        {"C1 (balanced)", 12288, 12288, 220, 12288},
+        {"C2 (compute-bound)", 16384, 16384, 250, 12288},
+    };
+
+    for (const auto& c : configs) {
+        auto batch = kernels::HybridBatch::Make(shape, c.chunk,
+                                                c.prefill_ctx, c.bs,
+                                                c.decode_ctx);
+        double serial =
+            RunAttention(Backend::kFaSerial, batch, gpu).total_time;
+        Table t({"variant", "time (ms)", "speedup vs serial"});
+        t.AddRow({"FA_Serial", Table::Num(serial * 1e3, 3), "1.00x"});
+        for (const auto& v : Variants()) {
+            double time =
+                RunAttention(Backend::kPod, batch, gpu, v.options)
+                    .total_time;
+            t.AddRow({v.name, Table::Num(time * 1e3, 3),
+                      Table::Num(serial / time, 2) + "x"});
+        }
+        std::printf("%s: %s\n", c.name, batch.Describe().c_str());
+        t.Print(std::cout);
+        std::printf("\n");
+    }
+    return 0;
+}

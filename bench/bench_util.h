@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the
+ * paper's tables and figures.
+ */
+#ifndef POD_BENCH_BENCH_UTIL_H
+#define POD_BENCH_BENCH_UTIL_H
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gpusim/gpu_spec.h"
+#include "kernels/attn_types.h"
+#include "model/model_config.h"
+
+namespace pod::bench {
+
+/**
+ * Global scale knob for long-running benches: POD_BENCH_SCALE
+ * multiplies request counts / sweep densities (default 1.0 = the
+ * scaled-down defaults documented in EXPERIMENTS.md).
+ */
+inline double
+ScaleFactor()
+{
+    const char* env = std::getenv("POD_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+}
+
+/** Scale an integer count by POD_BENCH_SCALE (at least 1). */
+inline int
+Scaled(int base)
+{
+    return std::max(1, static_cast<int>(base * ScaleFactor()));
+}
+
+/** Per-GPU attention shape of Yi-6B on one A100 (paper Table 4). */
+inline kernels::AttnShape
+Yi6BShape()
+{
+    return model::ModelConfig::Yi6B().ShapePerGpu(1);
+}
+
+/** Per-GPU shape of Llama-2-7B under TP-2. */
+inline kernels::AttnShape
+Llama2Tp2Shape()
+{
+    return model::ModelConfig::Llama2_7B().ShapePerGpu(2);
+}
+
+/** Per-GPU shape of Llama-3-8B under TP-2. */
+inline kernels::AttnShape
+Llama3Tp2Shape()
+{
+    return model::ModelConfig::Llama3_8B().ShapePerGpu(2);
+}
+
+/** The paper's testbed GPU. */
+inline gpusim::GpuSpec
+A100()
+{
+    return gpusim::GpuSpec::A100Sxm80GB();
+}
+
+/** Print the standard bench header. */
+inline void
+Header(const char* id, const char* description)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", id, description);
+    std::printf("(simulated A100-SXM4-80GB; see EXPERIMENTS.md for the\n");
+    std::printf(" paper-vs-measured comparison)\n");
+    std::printf("==============================================================\n\n");
+}
+
+}  // namespace pod::bench
+
+#endif  // POD_BENCH_BENCH_UTIL_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reproduces paper Figure 1: compute and memory-bandwidth utilization
+ * of prefill-only attention (batch 1, growing context), decode-only
+ * attention (context 4K, growing batch), and POD-Attention on the
+ * hybrid batch configurations of Table 1 (C0 memory-bound, C1
+ * balanced, C2 compute-bound), plus the normalized runtime of the
+ * serial FA/FI kernels against POD.
+ *
+ * Model: Llama-3-8B on 2 A100s (per-GPU shape 16 q heads / 4 KV
+ * heads), as in the paper.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/attention.h"
+
+using namespace pod;
+using namespace pod::core;
+using namespace pod::bench;
+
+namespace {
+
+/** Table 1 configurations. */
+struct HybridConfig
+{
+    const char* name;
+    int chunk;
+    int prefill_ctx;
+    int decode_bs;
+    int decode_ctx;
+};
+
+const HybridConfig kConfigs[] = {
+    {"C0", 1024, 12288, 80, 12288},   // memory-bound
+    {"C1", 12288, 12288, 220, 12288}, // balanced
+    {"C2", 16384, 16384, 250, 12288}, // compute-bound
+};
+
+}  // namespace
+
+int
+main()
+{
+    Header("Figure 1", "compute/memory utilization of attention kernels");
+    gpusim::GpuSpec gpu = A100();
+    kernels::AttnShape shape = Llama3Tp2Shape();
+
+    // ---- panel 1: prefill attention, batch 1, context sweep ----
+    {
+        Table t({"context", "compute util", "mem BW util"});
+        for (int ctx : {1024, 2048, 4096, 8192, 16384}) {
+            auto batch = kernels::HybridBatch::Make(shape, ctx, ctx, 0, 0);
+            AttnRunResult r = RunAttention(Backend::kFaSerial, batch, gpu);
+            t.AddRow({std::to_string(ctx / 1024) + "K",
+                      Table::Pct(r.tensor_util), Table::Pct(r.mem_util)});
+        }
+        std::printf("Prefill attention (batch size = 1):\n");
+        t.Print(std::cout);
+        std::printf("\n");
+    }
+
+    // ---- panel 2: decode attention, context 4K, batch sweep ----
+    {
+        Table t({"batch", "compute util (useful)", "compute util (issued)",
+                 "mem BW util"});
+        for (int bs : {16, 32, 64, 128, 256}) {
+            auto batch = kernels::HybridBatch::Make(shape, 0, 0, bs, 4096);
+            AttnRunResult r = RunAttention(Backend::kFaSerial, batch, gpu);
+            t.AddRow({Table::Int(bs), Table::Pct(r.useful_tensor_util),
+                      Table::Pct(r.tensor_util), Table::Pct(r.mem_util)});
+        }
+        std::printf("Decode attention (context length = 4K):\n");
+        t.Print(std::cout);
+        std::printf("\n");
+    }
+
+    // ---- panel 3: POD utilization on hybrid configs ----
+    {
+        Table t({"config", "compute util", "mem BW util"});
+        for (const auto& c : kConfigs) {
+            auto batch = kernels::HybridBatch::Make(
+                shape, c.chunk, c.prefill_ctx, c.decode_bs, c.decode_ctx);
+            AttnRunResult r = RunAttention(Backend::kPod, batch, gpu);
+            t.AddRow({c.name, Table::Pct(r.tensor_util),
+                      Table::Pct(r.mem_util)});
+        }
+        std::printf("POD-Attention (hybrid batch configs, Table 1):\n");
+        t.Print(std::cout);
+        std::printf("\n");
+    }
+
+    // ---- panel 4: normalized runtime ----
+    {
+        Table t({"config", "FA_Prefill", "FA_Decode", "FI_Prefill",
+                 "FI_Decode", "POD", "POD speedup"});
+        for (const auto& c : kConfigs) {
+            auto batch = kernels::HybridBatch::Make(
+                shape, c.chunk, c.prefill_ctx, c.decode_bs, c.decode_ctx);
+            AttnRunResult fa = RunAttention(Backend::kFaSerial, batch, gpu);
+            AttnRunResult fi = RunAttention(Backend::kFiSerial, batch, gpu);
+            AttnRunResult pod = RunAttention(Backend::kPod, batch, gpu);
+            double norm = fa.total_time;
+            double fa_prefill = fa.prefill_time;
+            double fa_decode = fa.total_time - fa.prefill_time;
+            double fi_prefill = fi.prefill_time;
+            double fi_decode = fi.total_time - fi.prefill_time;
+            t.AddRow({c.name, Table::Num(fa_prefill / norm, 2),
+                      Table::Num(fa_decode / norm, 2),
+                      Table::Num(fi_prefill / norm, 2),
+                      Table::Num(fi_decode / norm, 2),
+                      Table::Num(pod.total_time / norm, 2),
+                      Table::Num(norm / pod.total_time, 2) + "x"});
+        }
+        std::printf("Normalized runtime (FA_Serial = 1.0):\n");
+        t.Print(std::cout);
+    }
+    return 0;
+}

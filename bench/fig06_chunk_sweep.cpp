@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: per-layer attention runtime of the 32
+ * hybrid batches formed by chunked prefill of a 16K prompt
+ * (chunk 512, model Yi-6B), co-scheduled with decodes of 16K context,
+ * with decode batch size 54 (no wave quantization: 216 decode CTAs on
+ * 108 SMs) and 55 (quantized: 220 CTAs).
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/attention.h"
+
+using namespace pod;
+using namespace pod::core;
+using namespace pod::bench;
+
+namespace {
+
+void
+RunSweep(int decode_bs)
+{
+    gpusim::GpuSpec gpu = bench::A100();
+    kernels::AttnShape shape = Yi6BShape();
+    const int chunk = 512;
+    const int prompt = 16384;
+    const int chunks = prompt / chunk;
+
+    std::printf("Decode batch size %d (%s wave quantization):\n", decode_bs,
+                decode_bs * shape.num_kv_heads % gpu.num_sms == 0 ? "w/o"
+                                                                  : "w/");
+    Table t({"chunk", "FA_Serial (ms)", "FA_Streams (ms)", "FA_HFuse (ms)",
+             "POD (ms)", "POD speedup"});
+    double serial_sum = 0.0;
+    double pod_sum = 0.0;
+    for (int i = 0; i < chunks; ++i) {
+        auto batch = kernels::HybridBatch::Make(
+            shape, chunk, (i + 1) * chunk, decode_bs, 16384);
+        double serial =
+            RunAttention(Backend::kFaSerial, batch, gpu).total_time;
+        double streams =
+            RunAttention(Backend::kFaStreams, batch, gpu).total_time;
+        double hfuse =
+            RunAttention(Backend::kFaHFuse, batch, gpu).total_time;
+        double pod = RunAttention(Backend::kPod, batch, gpu).total_time;
+        serial_sum += serial;
+        pod_sum += pod;
+        if (i % 4 == 0 || i == chunks - 1) {
+            t.AddRow({Table::Int(i), Table::Num(ToMs(serial), 3),
+                      Table::Num(ToMs(streams), 3),
+                      Table::Num(ToMs(hfuse), 3), Table::Num(ToMs(pod), 3),
+                      Table::Num(serial / pod, 2) + "x"});
+        }
+    }
+    t.Print(std::cout);
+    std::printf("All-chunk total: FA_Serial %.2f ms, POD %.2f ms "
+                "(%.2fx)\n\n",
+                serial_sum * 1e3, pod_sum * 1e3, serial_sum / pod_sum);
+}
+
+}  // namespace
+
+int
+main()
+{
+    Header("Figure 6",
+           "per-layer attention runtime across prefill chunks (Yi-6B)");
+    RunSweep(54);
+    RunSweep(55);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: impact of the decode QSL/KV tile shape
+ * on compute utilization (issued, i.e. including padding -- what a
+ * profiler reports) and HBM bandwidth utilization, for decode batch
+ * sizes 8 / 16 / 32 at context length 4K.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "gpusim/engine.h"
+#include "kernels/attn_kernels.h"
+#include "kernels/flash_geometry.h"
+
+using namespace pod;
+using namespace pod::kernels;
+using namespace pod::bench;
+
+int
+main()
+{
+    Header("Figure 10", "decode tile size vs compute and HBM utilization");
+    gpusim::GpuSpec gpu = bench::A100();
+    kernels::AttnShape shape = Llama3Tp2Shape();
+
+    const TileConfig tiles[] = {
+        {128, 64, 8}, {64, 128, 4}, {32, 64, 4}, {16, 32, 4}};
+
+    Table compute({"tile (Q,KV)", "bs=8", "bs=16", "bs=32"});
+    Table memory({"tile (Q,KV)", "bs=8", "bs=16", "bs=32"});
+    for (const auto& tile : tiles) {
+        std::vector<std::string> crow = {
+            "(" + std::to_string(tile.tile_q) + "," +
+            std::to_string(tile.tile_kv) + ")"};
+        std::vector<std::string> mrow = crow;
+        for (int bs : {8, 16, 32}) {
+            GeomOptions opts;
+            opts.tile = tile;
+            UnitGeometry geom = BuildDecodeUnits(
+                shape, DecodeItem::Uniform(bs, 4096), opts);
+            gpusim::FluidEngine engine(gpu);
+            gpusim::SimResult r =
+                engine.RunKernel(MakeSimpleKernel("decode", geom));
+            crow.push_back(Table::Pct(r.tensor_util));
+            mrow.push_back(Table::Pct(r.mem_util));
+        }
+        compute.AddRow(crow);
+        memory.AddRow(mrow);
+    }
+    std::printf("(a) Compute utilization (issued, padding included):\n");
+    compute.Print(std::cout);
+    std::printf("\n(b) HBM bandwidth utilization:\n");
+    memory.Print(std::cout);
+    std::printf("\nExpected shape (paper): compute utilization is "
+                "proportional to the QSL tile (up to ~70%% at 128, ~10%% "
+                "at 16); bandwidth is insensitive to tile size at batch "
+                "32 but higher tiles hurt small batches.\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: distribution of attention speedup over
+ * FA_Serial for FA_Streams, FI_Serial, FI_Batched, FA_HFuse and POD,
+ * across a sweep of >1000 hybrid batches (three models, context 4K to
+ * 20K, chunk 512 to 2K, several decode batch sizes), keeping batches
+ * where both prefill and decode account for at least 20% of the
+ * serial runtime (the paper's filter).
+ *
+ * Also reports the paper's headline statistics: POD peak and mean
+ * speedup, the fraction of cases within 10% of the theoretical peak,
+ * and that POD never under-performs serial execution.
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/attention.h"
+
+using namespace pod;
+using namespace pod::core;
+using namespace pod::bench;
+
+int
+main()
+{
+    Header("Figure 11", "speedup distribution over 1000+ hybrid batches");
+    gpusim::GpuSpec gpu = bench::A100();
+
+    struct NamedShape
+    {
+        const char* name;
+        kernels::AttnShape shape;
+    };
+    const NamedShape shapes[] = {
+        {"Yi-6B", Yi6BShape()},
+        {"Llama-2-7B/TP2", Llama2Tp2Shape()},
+        {"Llama-3-8B/TP2", Llama3Tp2Shape()},
+    };
+    const Backend mechanisms[] = {Backend::kFaStreams, Backend::kFiSerial,
+                                  Backend::kFiBatched, Backend::kFaHFuse,
+                                  Backend::kPod};
+
+    SampleStats speedup[5];
+    SampleStats pod_vs_peak;
+    int total = 0;
+    int skipped = 0;
+    int pod_below_serial = 0;
+
+    for (const auto& ns : shapes) {
+        for (int ctx : {4096, 8192, 12288, 16384, 20480}) {
+            for (int chunk : {512, 1024, 1536, 2048}) {
+                for (int bs : {16, 32, 64, 96, 128, 192, 256}) {
+                    for (int dctx : {4096, 8192, 16384}) {
+                        auto batch = kernels::HybridBatch::Make(
+                            ns.shape, chunk, ctx, bs, dctx);
+                        AttnRunResult serial = RunAttention(
+                            Backend::kFaSerial, batch, gpu);
+                        // Paper filter: both phases >= 20% of serial.
+                        double prefill_frac =
+                            serial.prefill_time / serial.total_time;
+                        double decode_frac = 1.0 - prefill_frac;
+                        if (prefill_frac < 0.2 || decode_frac < 0.2) {
+                            ++skipped;
+                            continue;
+                        }
+                        ++total;
+                        double pod_time = 0.0;
+                        for (int m = 0; m < 5; ++m) {
+                            AttnRunResult r = RunAttention(
+                                mechanisms[m], batch, gpu);
+                            speedup[m].Add(serial.total_time /
+                                           r.total_time);
+                            if (mechanisms[m] == Backend::kPod) {
+                                pod_time = r.total_time;
+                            }
+                        }
+                        if (pod_time > serial.total_time * 1.001) {
+                            ++pod_below_serial;
+                        }
+                        // Theoretical peak: perfect overlap of the two
+                        // serial phases.
+                        double peak =
+                            serial.total_time /
+                            std::max(serial.prefill_time,
+                                     serial.total_time -
+                                         serial.prefill_time);
+                        pod_vs_peak.Add((serial.total_time / pod_time) /
+                                        peak);
+                    }
+                }
+            }
+        }
+    }
+
+    Table t({"mechanism", "min", "p25", "median", "mean", "p75", "max"});
+    const char* names[] = {"FA_Streams", "FI_Serial", "FI_Batched",
+                           "FA_HFuse", "POD"};
+    for (int m = 0; m < 5; ++m) {
+        auto pct = [&](double p) {
+            return Table::Pct(speedup[m].Percentile(p) - 1.0);
+        };
+        t.AddRow({names[m], pct(0), pct(25), pct(50),
+                  Table::Pct(speedup[m].Mean() - 1.0), pct(75), pct(100)});
+    }
+    std::printf("Speedup over FA_Serial (%d hybrid batches kept, %d "
+                "filtered out):\n",
+                total, skipped);
+    t.Print(std::cout);
+
+    std::printf("\nPOD headline stats:\n");
+    std::printf("  peak speedup:           %.1f%% (paper: 59%%)\n",
+                (speedup[4].Max() - 1.0) * 100.0);
+    std::printf("  mean speedup:           %.1f%% (paper: 28%%)\n",
+                (speedup[4].Mean() - 1.0) * 100.0);
+    std::printf("  within 10%% of peak:     %.1f%% of cases (paper: 25%%)\n",
+                pod_vs_peak.FractionAbove(0.9) * 100.0);
+    std::printf("  cases below serial:     %d (paper: 0)\n",
+                pod_below_serial);
+    return 0;
+}

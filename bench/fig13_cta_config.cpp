@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: which CTAs-per-SM configuration (2 vs
+ * 4) wins across decode batch size (horizontal) and context length
+ * (vertical), Llama-3-8B. Long contexts (prefill-dominant) prefer 2
+ * CTAs/SM (larger tiles); short contexts / big batches prefer 4.
+ *
+ * Each cell shows the runtime of the slower configuration normalized
+ * to the faster one, prefixed by the winner.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/attention.h"
+
+using namespace pod;
+using namespace pod::core;
+using namespace pod::bench;
+
+int
+main()
+{
+    Header("Figure 13", "2 vs 4 CTAs/SM configuration map");
+    gpusim::GpuSpec gpu = bench::A100();
+    kernels::AttnShape shape = Llama3Tp2Shape();
+
+    const int batch_sizes[] = {32, 64, 128, 192, 256};
+    const int contexts[] = {2048, 4096, 8192, 16384, 20480};
+    const int chunk = 2048;
+
+    std::vector<std::string> headers = {"ctx \\ bs"};
+    for (int bs : batch_sizes) headers.push_back(std::to_string(bs));
+    Table t(headers);
+
+    int agree_with_heuristic = 0;
+    int cells = 0;
+    for (int ctx : contexts) {
+        std::vector<std::string> row = {std::to_string(ctx / 1024) + "K"};
+        for (int bs : batch_sizes) {
+            auto batch =
+                kernels::HybridBatch::Make(shape, chunk, ctx, bs, ctx);
+            AttnRunOptions two;
+            two.pod.ctas_per_sm = CtasPerSm::kTwo;
+            AttnRunOptions four;
+            four.pod.ctas_per_sm = CtasPerSm::kFour;
+            double t2 =
+                RunAttention(Backend::kPod, batch, gpu, two).total_time;
+            double t4 =
+                RunAttention(Backend::kPod, batch, gpu, four).total_time;
+            bool two_wins = t2 <= t4;
+            double ratio = two_wins ? t4 / t2 : t2 / t4;
+            row.push_back(std::string(two_wins ? "2" : "4") + " (" +
+                          Table::Num(ratio, 2) + ")");
+            PodOptions heuristic_options;  // kAuto
+            int pick = ChooseCtasPerSm(batch, gpu, heuristic_options);
+            if ((pick == 2) == two_wins) ++agree_with_heuristic;
+            ++cells;
+        }
+        t.AddRow(row);
+    }
+    t.Print(std::cout);
+    std::printf("\nCell = winning config (slower/faster runtime ratio).\n");
+    std::printf("Paper's lightweight heuristic agrees with the measured "
+                "winner in %d/%d cells.\n",
+                agree_with_heuristic, cells);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths: the
+ * fluid GPU simulator, the attention backends, the numeric reference
+ * attention and the serving engine's iteration costing. These guard
+ * the simulator's own performance (the serving benches run hundreds
+ * of thousands of iterations through these paths).
+ */
+#include <benchmark/benchmark.h>
+
+#include "attnref/attention_ref.h"
+#include "bench_util.h"
+#include "core/attention.h"
+#include "kernels/micro.h"
+#include "model/iteration_cost.h"
+
+using namespace pod;
+using namespace pod::bench;
+
+namespace {
+
+void
+BM_AttentionBackend(benchmark::State& state)
+{
+    auto backend = static_cast<core::Backend>(state.range(0));
+    gpusim::GpuSpec gpu = A100();
+    auto batch = kernels::HybridBatch::Make(Llama3Tp2Shape(), 1024, 12288,
+                                            80, 12288);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::RunAttention(backend, batch, gpu).total_time);
+    }
+}
+BENCHMARK(BM_AttentionBackend)
+    ->DenseRange(0, 5, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MicroStrategy(benchmark::State& state)
+{
+    auto strategy = static_cast<kernels::FusionStrategy>(state.range(0));
+    kernels::MicroParams params;
+    gpusim::GpuSpec gpu = A100();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kernels::RunMicroStrategy(strategy, params, gpu));
+    }
+}
+BENCHMARK(BM_MicroStrategy)
+    ->DenseRange(0, 5, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FlashRefTiled(benchmark::State& state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(1);
+    attnref::Matrix q(16, 64);
+    attnref::Matrix k(n, 64);
+    attnref::Matrix v(n, 64);
+    q.FillRandom(rng);
+    k.FillRandom(rng);
+    v.FillRandom(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(attnref::FlashAttentionTiled(
+            q, k, v, static_cast<int>(n) - 16, true, 0.125f, 16, 64));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n) * 16);
+}
+BENCHMARK(BM_FlashRefTiled)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_IterationCost(benchmark::State& state)
+{
+    model::IterationCostModel cost(model::ModelConfig::Llama3_8B(), A100(),
+                                   2, core::Backend::kPod);
+    auto batch = kernels::HybridBatch::Make(Llama3Tp2Shape(), 1024, 16384,
+                                            48, 16384);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cost.Cost(batch, 49).total);
+    }
+}
+BENCHMARK(BM_IterationCost)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

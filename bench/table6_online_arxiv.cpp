@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces paper Table 6: online latency on the arXiv-
+ * summarization-based workload (mean context 9.5K, P:D 0-50, 42% more
+ * decode tokens than the internal workload) at two loads near
+ * capacity (the paper's QPS 0.85 and 0.95). Chunk size 1024.
+ */
+#include "online_common.h"
+
+using namespace pod;
+using namespace pod::bench;
+
+int
+main()
+{
+    Header("Table 6", "online latency, arXiv workload (Llama-3-8B)");
+    serve::WorkloadSpec spec = serve::WorkloadSpec::Arxiv();
+    const int chunk = 1024;
+    int requests = Scaled(128);
+
+    double capacity =
+        EstimateCapacityQps(spec, chunk, std::max(24, requests / 4), 202);
+    std::printf("Estimated Sarathi serving capacity: %.2f QPS\n\n",
+                capacity);
+    // The paper's 0.85/0.95 QPS sit at ~90%% and ~100%% of their
+    // system's capacity.
+    PrintOnlineBlock(spec, 0.90 * capacity, chunk, requests, 8001);
+    PrintOnlineBlock(spec, 1.00 * capacity, chunk, requests, 8002);
+
+    std::printf("Paper reference (QPS 0.95): Sarathi+POD cuts Sarathi's "
+                "median TTFT 46.2s -> 11.7s and P99 request latency "
+                "417.6s -> 333.0s; vLLM stalls 99.9%% of requests.\n");
+    return 0;
+}

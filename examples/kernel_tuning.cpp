@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Kernel-tuning walkthrough: explores POD-Attention's configuration
+ * space on one hybrid batch -- CTAs/SM, scheduling policy and prefill
+ * split policy -- and shows how each mechanism contributes to the
+ * speedup over serial execution (an interactive version of the
+ * paper's S4.2 and sensitivity studies).
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/attention.h"
+
+using namespace pod;
+using namespace pod::core;
+
+namespace {
+
+double
+RunVariant(const kernels::HybridBatch& batch, const gpusim::GpuSpec& gpu,
+           CtasPerSm ctas, SchedPolicy policy, SplitPolicy splits)
+{
+    AttnRunOptions options;
+    options.pod.ctas_per_sm = ctas;
+    options.pod.policy = policy;
+    options.pod.split_policy = splits;
+    return RunAttention(Backend::kPod, batch, gpu, options).total_time;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    // Configurable batch: chunk, prefill ctx, decode bs, decode ctx.
+    int chunk = argc > 1 ? std::atoi(argv[1]) : 2048;
+    int prefill_ctx = argc > 2 ? std::atoi(argv[2]) : 16384;
+    int decode_bs = argc > 3 ? std::atoi(argv[3]) : 64;
+    int decode_ctx = argc > 4 ? std::atoi(argv[4]) : 16384;
+
+    kernels::AttnShape shape;  // Llama-3-8B under TP-2
+    shape.num_q_heads = 16;
+    shape.num_kv_heads = 4;
+    shape.head_dim = 128;
+    auto batch = kernels::HybridBatch::Make(shape, chunk, prefill_ctx,
+                                            decode_bs, decode_ctx);
+    gpusim::GpuSpec gpu = gpusim::GpuSpec::A100Sxm80GB();
+
+    std::printf("Tuning POD-Attention on: %s\n\n",
+                batch.Describe().c_str());
+    double serial =
+        RunAttention(Backend::kFaSerial, batch, gpu).total_time;
+    std::printf("FA_Serial reference: %s\n\n",
+                FormatTime(serial).c_str());
+
+    Table t({"CTAs/SM", "policy", "prefill splits", "time", "speedup"});
+    for (CtasPerSm ctas : {CtasPerSm::kTwo, CtasPerSm::kFour}) {
+        for (SchedPolicy policy :
+             {SchedPolicy::kProportional, SchedPolicy::kFiftyFifty}) {
+            for (SplitPolicy splits :
+                 {SplitPolicy::kLimited, SplitPolicy::kVanilla}) {
+                double time =
+                    RunVariant(batch, gpu, ctas, policy, splits);
+                t.AddRow({ctas == CtasPerSm::kTwo ? "2" : "4",
+                          SchedPolicyName(policy),
+                          SplitPolicyName(splits), FormatTime(time),
+                          Table::Num(serial / time, 2) + "x"});
+            }
+        }
+    }
+    t.Print(std::cout);
+
+    AttnRunResult best = RunAttention(Backend::kPod, batch, gpu);
+    std::printf("\nAuto-tuned: %d CTAs/SM, %d:%d tickets, %d prefill "
+                "splits -> %s (%.2fx over serial)\n",
+                best.pod_plan.ctas_per_sm, best.pod_plan.policy.ratio_a,
+                best.pod_plan.policy.ratio_b,
+                best.pod_plan.prefill_splits,
+                FormatTime(best.total_time).c_str(),
+                serial / best.total_time);
+    return 0;
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Implementation of the single-head attention references.
+ */
+#include "attnref/attention_ref.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pod::attnref {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+/** Dot product of two d-length rows. */
+float
+Dot(const float* a, const float* b, size_t d)
+{
+    float acc = 0.0f;
+    for (size_t i = 0; i < d; ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+/** Index of the last visible key for query row i (may be < 0). */
+long
+VisibleLimit(size_t row, int pos_offset, bool causal, size_t n)
+{
+    if (!causal) return static_cast<long>(n) - 1;
+    long limit = static_cast<long>(pos_offset) + static_cast<long>(row);
+    return std::min(limit, static_cast<long>(n) - 1);
+}
+
+}  // namespace
+
+Matrix
+NaiveAttention(const Matrix& q, const Matrix& k, const Matrix& v,
+               int pos_offset, bool causal, float scale)
+{
+    POD_CHECK_ARG(q.Cols() == k.Cols() && k.Cols() == v.Cols(),
+                  "head dimension mismatch");
+    POD_CHECK_ARG(k.Rows() == v.Rows(), "K/V length mismatch");
+    POD_CHECK_ARG(pos_offset >= 0, "position offset must be >= 0");
+
+    const size_t m = q.Rows();
+    const size_t d = q.Cols();
+    Matrix out(m, d);
+    std::vector<float> scores;
+
+    for (size_t i = 0; i < m; ++i) {
+        long limit = VisibleLimit(i, pos_offset, causal, k.Rows());
+        if (limit < 0) continue;  // no visible keys: zero output row
+        size_t n_vis = static_cast<size_t>(limit) + 1;
+        scores.resize(n_vis);
+        float max_score = kNegInf;
+        for (size_t j = 0; j < n_vis; ++j) {
+            scores[j] = Dot(q.Row(i), k.Row(j), d) * scale;
+            max_score = std::max(max_score, scores[j]);
+        }
+        float denom = 0.0f;
+        for (size_t j = 0; j < n_vis; ++j) {
+            scores[j] = std::exp(scores[j] - max_score);
+            denom += scores[j];
+        }
+        for (size_t j = 0; j < n_vis; ++j) {
+            float w = scores[j] / denom;
+            const float* vr = v.Row(j);
+            float* orow = out.Row(i);
+            for (size_t c = 0; c < d; ++c) orow[c] += w * vr[c];
+        }
+    }
+    return out;
+}
+
+Matrix
+FlashAttentionTiled(const Matrix& q, const Matrix& k, const Matrix& v,
+                    int pos_offset, bool causal, float scale, int tile_q,
+                    int tile_kv)
+{
+    POD_CHECK_ARG(tile_q >= 1 && tile_kv >= 1, "tiles must be >= 1");
+    SplitPartial partial = FlashAttentionPartial(
+        q, k, v, 0, static_cast<int>(k.Rows()), pos_offset, causal, scale,
+        tile_kv);
+    // A single full-range split merges to the exact result. tile_q
+    // only affects the iteration order, which the partial handles
+    // row-independently; it is accepted for interface parity with the
+    // kernel geometry.
+    (void)tile_q;
+    return MergeSplitPartials({partial});
+}
+
+SplitPartial
+FlashAttentionPartial(const Matrix& q, const Matrix& k, const Matrix& v,
+                      int kv_begin, int kv_end, int pos_offset, bool causal,
+                      float scale, int tile_kv)
+{
+    POD_CHECK_ARG(q.Cols() == k.Cols() && k.Cols() == v.Cols(),
+                  "head dimension mismatch");
+    POD_CHECK_ARG(k.Rows() == v.Rows(), "K/V length mismatch");
+    POD_CHECK_ARG(0 <= kv_begin && kv_begin <= kv_end &&
+                      kv_end <= static_cast<int>(k.Rows()),
+                  "kv range out of bounds");
+    POD_CHECK_ARG(tile_kv >= 1, "tile_kv must be >= 1");
+
+    const size_t m = q.Rows();
+    const size_t d = q.Cols();
+    SplitPartial result;
+    result.out = Matrix(m, d);
+    result.lse.assign(m, kNegInf);
+
+    // Online softmax state per query row.
+    std::vector<float> run_max(m, kNegInf);
+    std::vector<float> run_sum(m, 0.0f);
+    Matrix acc(m, d);
+
+    for (int tile_start = kv_begin; tile_start < kv_end;
+         tile_start += tile_kv) {
+        int tile_stop = std::min(tile_start + tile_kv, kv_end);
+        for (size_t i = 0; i < m; ++i) {
+            long limit = VisibleLimit(i, pos_offset, causal, k.Rows());
+            if (limit < tile_start) continue;
+            int stop = std::min(tile_stop, static_cast<int>(limit) + 1);
+
+            // Tile-local max for this row.
+            float tile_max = kNegInf;
+            std::vector<float> s(static_cast<size_t>(stop - tile_start));
+            for (int j = tile_start; j < stop; ++j) {
+                float score = Dot(q.Row(i), k.Row(static_cast<size_t>(j)),
+                                  d) *
+                              scale;
+                s[static_cast<size_t>(j - tile_start)] = score;
+                tile_max = std::max(tile_max, score);
+            }
+            float new_max = std::max(run_max[i], tile_max);
+            // Rescale the running accumulator and sum (the online
+            // softmax correction FA applies when the max moves).
+            float correction = run_max[i] == kNegInf
+                                   ? 0.0f
+                                   : std::exp(run_max[i] - new_max);
+            run_sum[i] *= correction;
+            float* acc_row = acc.Row(i);
+            for (size_t c = 0; c < d; ++c) acc_row[c] *= correction;
+            // Accumulate the tile.
+            for (int j = tile_start; j < stop; ++j) {
+                float w =
+                    std::exp(s[static_cast<size_t>(j - tile_start)] -
+                             new_max);
+                run_sum[i] += w;
+                const float* vr = v.Row(static_cast<size_t>(j));
+                for (size_t c = 0; c < d; ++c) acc_row[c] += w * vr[c];
+            }
+            run_max[i] = new_max;
+        }
+    }
+
+    for (size_t i = 0; i < m; ++i) {
+        if (run_sum[i] > 0.0f) {
+            float inv = 1.0f / run_sum[i];
+            const float* acc_row = acc.Row(i);
+            float* out_row = result.out.Row(i);
+            for (size_t c = 0; c < d; ++c) out_row[c] = acc_row[c] * inv;
+            result.lse[i] = run_max[i] + std::log(run_sum[i]);
+        }
+    }
+    return result;
+}
+
+Matrix
+MergeSplitPartials(const std::vector<SplitPartial>& partials)
+{
+    POD_CHECK_ARG(!partials.empty(), "need at least one split");
+    const size_t m = partials[0].out.Rows();
+    const size_t d = partials[0].out.Cols();
+    for (const auto& p : partials) {
+        POD_CHECK_ARG(p.out.Rows() == m && p.out.Cols() == d &&
+                          p.lse.size() == m,
+                      "split shape mismatch");
+    }
+
+    Matrix out(m, d);
+    for (size_t i = 0; i < m; ++i) {
+        // Global log-sum-exp across splits.
+        float max_lse = kNegInf;
+        for (const auto& p : partials) {
+            max_lse = std::max(max_lse, p.lse[i]);
+        }
+        if (max_lse == kNegInf) continue;  // row saw no keys anywhere
+        float total = 0.0f;
+        for (const auto& p : partials) {
+            if (p.lse[i] != kNegInf) {
+                total += std::exp(p.lse[i] - max_lse);
+            }
+        }
+        float lse_total = max_lse + std::log(total);
+        float* out_row = out.Row(i);
+        for (const auto& p : partials) {
+            if (p.lse[i] == kNegInf) continue;
+            float weight = std::exp(p.lse[i] - lse_total);
+            const float* part_row = p.out.Row(i);
+            for (size_t c = 0; c < d; ++c) {
+                out_row[c] += weight * part_row[c];
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace pod::attnref

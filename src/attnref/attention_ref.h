@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Single-head attention reference implementations.
+ *
+ * Three algorithmically distinct paths compute the same function:
+ *
+ *  1. NaiveAttention -- direct softmax(QK^T)V with a full score
+ *     matrix; the ground truth.
+ *  2. FlashAttentionTiled -- FA-2 style KV-tile iteration with online
+ *     softmax rescaling (running max and running sum), never
+ *     materializing the score matrix. This is the algorithm POD's
+ *     prefill device function executes.
+ *  3. Split-KV (FlashDecoding): partial attention per KV split with a
+ *     log-sum-exp carry, merged exactly across splits. This is the
+ *     decode device function plus its merge step.
+ *
+ * Causal masking follows chunked-prefill semantics: queries carry an
+ * absolute position offset, so a chunk's token i attends the full
+ * prior context plus the first i+1 chunk tokens (paper S2.1).
+ */
+#ifndef POD_ATTNREF_ATTENTION_REF_H
+#define POD_ATTNREF_ATTENTION_REF_H
+
+#include <vector>
+
+#include "attnref/matrix.h"
+
+namespace pod::attnref {
+
+/** Partial attention result of one KV split (FlashDecoding). */
+struct SplitPartial
+{
+    /** Un-normalized (softmax-weighted) output rows, scaled by the
+     * split's local softmax. */
+    Matrix out;
+
+    /** Per-row log-sum-exp of the split's scores. */
+    std::vector<float> lse;
+};
+
+/**
+ * Ground-truth attention.
+ *
+ * @param q m x d queries whose absolute positions are
+ *        pos_offset .. pos_offset+m-1.
+ * @param k n x d keys at absolute positions 0..n-1.
+ * @param v n x d values.
+ * @param pos_offset absolute position of the first query row.
+ * @param causal if true, query row i attends keys with position
+ *        <= pos_offset + i.
+ * @param scale score scale (typically 1/sqrt(d)).
+ */
+Matrix NaiveAttention(const Matrix& q, const Matrix& k, const Matrix& v,
+                      int pos_offset, bool causal, float scale);
+
+/**
+ * FA-2 style tiled attention with online softmax.
+ * Matches NaiveAttention to floating-point tolerance for any tile
+ * sizes >= 1.
+ */
+Matrix FlashAttentionTiled(const Matrix& q, const Matrix& k,
+                           const Matrix& v, int pos_offset, bool causal,
+                           float scale, int tile_q, int tile_kv);
+
+/**
+ * Partial attention over the key range [kv_begin, kv_end) with a
+ * log-sum-exp carry (one FlashDecoding split).
+ */
+SplitPartial FlashAttentionPartial(const Matrix& q, const Matrix& k,
+                                   const Matrix& v, int kv_begin,
+                                   int kv_end, int pos_offset, bool causal,
+                                   float scale, int tile_kv);
+
+/**
+ * Exact merge of split partials (FlashDecoding reduction): combines
+ * per-split outputs with their log-sum-exps.
+ */
+Matrix MergeSplitPartials(const std::vector<SplitPartial>& partials);
+
+}  // namespace pod::attnref
+
+#endif  // POD_ATTNREF_ATTENTION_REF_H

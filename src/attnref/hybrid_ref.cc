@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Implementation of the numeric hybrid-batch attention driver.
+ */
+#include "attnref/hybrid_ref.h"
+
+#include <cmath>
+
+#include "attnref/attention_ref.h"
+#include "common/logging.h"
+
+namespace pod::attnref {
+
+namespace {
+
+/** Extract head h's d columns from a token-major multi-head matrix. */
+Matrix
+HeadSlice(const Matrix& x, int head, int head_dim)
+{
+    Matrix out(x.Rows(), static_cast<size_t>(head_dim));
+    size_t off = static_cast<size_t>(head) * static_cast<size_t>(head_dim);
+    for (size_t r = 0; r < x.Rows(); ++r) {
+        for (int c = 0; c < head_dim; ++c) {
+            out.At(r, static_cast<size_t>(c)) =
+                x.At(r, off + static_cast<size_t>(c));
+        }
+    }
+    return out;
+}
+
+/** Write head h's output back into the multi-head layout. */
+void
+ScatterHead(Matrix& dst, const Matrix& head_out, int head, int head_dim)
+{
+    size_t off = static_cast<size_t>(head) * static_cast<size_t>(head_dim);
+    for (size_t r = 0; r < head_out.Rows(); ++r) {
+        for (int c = 0; c < head_dim; ++c) {
+            dst.At(r, off + static_cast<size_t>(c)) =
+                head_out.At(r, static_cast<size_t>(c));
+        }
+    }
+}
+
+/** One (q-head, sequence) attention with the selected algorithm. */
+Matrix
+RunOneHead(const Matrix& q_head, const Matrix& k, const Matrix& v,
+           int pos_offset, bool causal, float scale, RefMode mode,
+           int tile_kv, int num_splits)
+{
+    switch (mode) {
+      case RefMode::kNaive:
+        return NaiveAttention(q_head, k, v, pos_offset, causal, scale);
+      case RefMode::kFlash:
+        return FlashAttentionTiled(q_head, k, v, pos_offset, causal, scale,
+                                   /*tile_q=*/64, tile_kv);
+      case RefMode::kFlashSplitKv: {
+        int n = static_cast<int>(k.Rows());
+        int splits = std::max(1, std::min(num_splits, n));
+        std::vector<SplitPartial> partials;
+        partials.reserve(static_cast<size_t>(splits));
+        for (int s = 0; s < splits; ++s) {
+            int begin = static_cast<int>(
+                static_cast<long>(n) * s / splits);
+            int end = static_cast<int>(
+                static_cast<long>(n) * (s + 1) / splits);
+            partials.push_back(FlashAttentionPartial(
+                q_head, k, v, begin, end, pos_offset, causal, scale,
+                tile_kv));
+        }
+        return MergeSplitPartials(partials);
+      }
+    }
+    Panic("unknown RefMode");
+}
+
+}  // namespace
+
+HybridRefResult
+ComputeHybridAttention(const kernels::AttnShape& shape,
+                       const PagedKvCache& cache, const Matrix& prefill_q,
+                       int prefill_seq, const Matrix& decode_q,
+                       const std::vector<int>& decode_seqs, RefMode mode,
+                       int tile_kv, int num_splits)
+{
+    shape.Validate();
+    POD_CHECK_ARG(cache.NumKvHeads() == shape.num_kv_heads,
+                  "cache KV heads mismatch");
+    POD_CHECK_ARG(cache.HeadDim() == shape.head_dim,
+                  "cache head dim mismatch");
+    POD_CHECK_ARG(decode_q.Rows() == decode_seqs.size(),
+                  "one decode sequence per decode query row");
+    size_t width = static_cast<size_t>(shape.num_q_heads) *
+                   static_cast<size_t>(shape.head_dim);
+    POD_CHECK_ARG(prefill_q.Rows() == 0 || prefill_q.Cols() == width,
+                  "prefill queries must be q_heads x head_dim wide");
+    POD_CHECK_ARG(decode_q.Rows() == 0 || decode_q.Cols() == width,
+                  "decode queries must be q_heads x head_dim wide");
+
+    const int group = shape.GroupSize();
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(shape.head_dim));
+
+    HybridRefResult result;
+    result.prefill_out = Matrix(prefill_q.Rows(), width);
+    result.decode_out = Matrix(decode_q.Rows(), width);
+
+    // ---- prefill chunk: causal against its own sequence ----
+    if (prefill_q.Rows() > 0) {
+        int kv_len = cache.SeqLen(prefill_seq);
+        int chunk = static_cast<int>(prefill_q.Rows());
+        POD_CHECK_ARG(kv_len >= chunk,
+                      "prefill cache must include the chunk's own K/V");
+        int pos_offset = kv_len - chunk;
+        for (int h = 0; h < shape.num_q_heads; ++h) {
+            int kv_head = h / group;
+            Matrix k = cache.GatherK(prefill_seq, kv_head);
+            Matrix v = cache.GatherV(prefill_seq, kv_head);
+            Matrix q_head = HeadSlice(prefill_q, h, shape.head_dim);
+            Matrix out = RunOneHead(q_head, k, v, pos_offset,
+                                    /*causal=*/true, scale, mode, tile_kv,
+                                    num_splits);
+            ScatterHead(result.prefill_out, out, h, shape.head_dim);
+        }
+    }
+
+    // ---- decodes: one query token against the full cache ----
+    for (size_t r = 0; r < decode_q.Rows(); ++r) {
+        int seq = decode_seqs[r];
+        int kv_len = cache.SeqLen(seq);
+        POD_CHECK_ARG(kv_len > 0, "decode sequence has no KV");
+        Matrix q_row(1, static_cast<size_t>(shape.head_dim));
+        for (int h = 0; h < shape.num_q_heads; ++h) {
+            int kv_head = h / group;
+            Matrix k = cache.GatherK(seq, kv_head);
+            Matrix v = cache.GatherV(seq, kv_head);
+            size_t off = static_cast<size_t>(h) *
+                         static_cast<size_t>(shape.head_dim);
+            for (int c = 0; c < shape.head_dim; ++c) {
+                q_row.At(0, static_cast<size_t>(c)) =
+                    decode_q.At(r, off + static_cast<size_t>(c));
+            }
+            // The decode token sits at position kv_len - 1, seeing the
+            // whole cache.
+            Matrix out = RunOneHead(q_row, k, v, kv_len - 1,
+                                    /*causal=*/true, scale, mode, tile_kv,
+                                    num_splits);
+            for (int c = 0; c < shape.head_dim; ++c) {
+                result.decode_out.At(r, off + static_cast<size_t>(c)) =
+                    out.At(0, static_cast<size_t>(c));
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace pod::attnref

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Numeric hybrid-batch attention: the functional counterpart of the
+ * POD-Attention kernel.
+ *
+ * Computes exact multi-head GQA attention for a hybrid batch (one
+ * chunked prefill + many decodes) over a paged KV cache, via three
+ * interchangeable algorithms: the naive reference, flash-style tiling
+ * (the prefill device function), and split-KV with an exact merge
+ * (the decode device function). All three agree to floating-point
+ * tolerance -- the correctness property the test suite enforces.
+ */
+#ifndef POD_ATTNREF_HYBRID_REF_H
+#define POD_ATTNREF_HYBRID_REF_H
+
+#include <vector>
+
+#include "attnref/matrix.h"
+#include "attnref/paged_kv.h"
+#include "kernels/attn_types.h"
+
+namespace pod::attnref {
+
+/** Algorithm used for the numeric computation. */
+enum class RefMode : int {
+    kNaive = 0,        ///< Full score matrix (ground truth).
+    kFlash = 1,        ///< Tiled online-softmax (FA-2 structure).
+    kFlashSplitKv = 2, ///< Split-KV partials + LSE merge (FlashDecoding).
+};
+
+/** Outputs of a hybrid batch, token-major, heads concatenated. */
+struct HybridRefResult
+{
+    /** chunk_len x (q_heads * head_dim). */
+    Matrix prefill_out;
+
+    /** decode_batch x (q_heads * head_dim). */
+    Matrix decode_out;
+};
+
+/**
+ * Compute hybrid-batch attention numerically.
+ *
+ * @param shape head geometry (GQA mapping: q head h reads kv head
+ *        h / group).
+ * @param cache paged KV cache already containing every sequence's
+ *        tokens (including the prefill chunk's own K/V).
+ * @param prefill_q chunk_len x (q_heads*d) queries of the chunk; may
+ *        be empty (0 rows) for decode-only batches.
+ * @param prefill_seq cache sequence of the prefill request (ignored
+ *        if prefill_q is empty). The chunk occupies the last
+ *        chunk_len positions of the sequence.
+ * @param decode_q decode_batch x (q_heads*d), one query row per
+ *        decode request; may be empty.
+ * @param decode_seqs cache sequence per decode request; each query
+ *        attends that sequence's full cache.
+ * @param mode algorithm.
+ * @param tile_kv KV tile for the flash modes.
+ * @param num_splits KV splits for kFlashSplitKv.
+ */
+HybridRefResult ComputeHybridAttention(
+    const kernels::AttnShape& shape, const PagedKvCache& cache,
+    const Matrix& prefill_q, int prefill_seq, const Matrix& decode_q,
+    const std::vector<int>& decode_seqs, RefMode mode, int tile_kv = 64,
+    int num_splits = 4);
+
+}  // namespace pod::attnref
+
+#endif  // POD_ATTNREF_HYBRID_REF_H

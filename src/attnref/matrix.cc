@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Matrix implementation.
+ */
+#include "attnref/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pod::attnref {
+
+void
+Matrix::FillRandom(Rng& rng)
+{
+    for (float& v : data_) {
+        v = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+    }
+}
+
+Matrix
+Matrix::Slice(size_t begin, size_t end) const
+{
+    POD_CHECK_ARG(begin <= end && end <= rows_, "slice out of range");
+    Matrix out(end - begin, cols_);
+    for (size_t r = begin; r < end; ++r) {
+        for (size_t c = 0; c < cols_; ++c) {
+            out.At(r - begin, c) = At(r, c);
+        }
+    }
+    return out;
+}
+
+double
+Matrix::MaxAbsDiff(const Matrix& other) const
+{
+    POD_CHECK_ARG(rows_ == other.rows_ && cols_ == other.cols_,
+                  "shape mismatch");
+    double max_diff = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i) {
+        double diff = std::fabs(static_cast<double>(data_[i]) -
+                                static_cast<double>(other.data_[i]));
+        if (diff > max_diff) max_diff = diff;
+    }
+    return max_diff;
+}
+
+}  // namespace pod::attnref

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal row-major float matrix used by the numeric reference
+ * implementation of attention.
+ */
+#ifndef POD_ATTNREF_MATRIX_H
+#define POD_ATTNREF_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pod::attnref {
+
+/** Dense row-major matrix of floats. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct zero-filled rows x cols. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {
+    }
+
+    size_t Rows() const { return rows_; }
+    size_t Cols() const { return cols_; }
+
+    /** Element access. */
+    float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** Raw row pointer. */
+    float* Row(size_t r) { return data_.data() + r * cols_; }
+    const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+    /** Underlying storage. */
+    std::vector<float>& Data() { return data_; }
+    const std::vector<float>& Data() const { return data_; }
+
+    /** Fill with uniform random values in [-1, 1). */
+    void FillRandom(Rng& rng);
+
+    /** Copy a row range [begin, end) into a new matrix. */
+    Matrix Slice(size_t begin, size_t end) const;
+
+    /** Largest absolute element difference against another matrix. */
+    double MaxAbsDiff(const Matrix& other) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+}  // namespace pod::attnref
+
+#endif  // POD_ATTNREF_MATRIX_H

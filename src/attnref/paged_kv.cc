@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Implementation of the paged KV cache.
+ */
+#include "attnref/paged_kv.h"
+
+#include "common/logging.h"
+
+namespace pod::attnref {
+
+PagedKvCache::PagedKvCache(int block_size, int num_kv_heads, int head_dim)
+    : block_size_(block_size),
+      num_kv_heads_(num_kv_heads),
+      head_dim_(head_dim)
+{
+    POD_CHECK_ARG(block_size >= 1, "block size must be >= 1");
+    POD_CHECK_ARG(num_kv_heads >= 1, "need at least one KV head");
+    POD_CHECK_ARG(head_dim >= 1, "head dim must be >= 1");
+}
+
+int
+PagedKvCache::AddSequence()
+{
+    sequences_.push_back(Sequence{});
+    return static_cast<int>(sequences_.size()) - 1;
+}
+
+void
+PagedKvCache::AppendToken(int seq, const std::vector<float>& k,
+                          const std::vector<float>& v)
+{
+    POD_CHECK_ARG(seq >= 0 && seq < static_cast<int>(sequences_.size()),
+                  "unknown sequence");
+    size_t token_elems =
+        static_cast<size_t>(num_kv_heads_) * static_cast<size_t>(head_dim_);
+    POD_CHECK_ARG(k.size() == token_elems && v.size() == token_elems,
+                  "token K/V must be num_kv_heads x head_dim");
+
+    Sequence& s = sequences_[static_cast<size_t>(seq)];
+    if (s.length % block_size_ == 0) {
+        // Current block full (or none yet): allocate a fresh block.
+        Block block;
+        block.k.assign(static_cast<size_t>(block_size_) * token_elems,
+                       0.0f);
+        block.v.assign(static_cast<size_t>(block_size_) * token_elems,
+                       0.0f);
+        pool_.push_back(std::move(block));
+        s.blocks.push_back(static_cast<int>(pool_.size()) - 1);
+        ++total_blocks_;
+    }
+    Block& block = pool_[static_cast<size_t>(s.blocks.back())];
+    size_t slot = static_cast<size_t>(block.used);
+    for (size_t i = 0; i < token_elems; ++i) {
+        block.k[slot * token_elems + i] = k[i];
+        block.v[slot * token_elems + i] = v[i];
+    }
+    block.used += 1;
+    s.length += 1;
+}
+
+int
+PagedKvCache::SeqLen(int seq) const
+{
+    POD_CHECK_ARG(seq >= 0 && seq < static_cast<int>(sequences_.size()),
+                  "unknown sequence");
+    return sequences_[static_cast<size_t>(seq)].length;
+}
+
+int
+PagedKvCache::SeqBlocks(int seq) const
+{
+    POD_CHECK_ARG(seq >= 0 && seq < static_cast<int>(sequences_.size()),
+                  "unknown sequence");
+    return static_cast<int>(
+        sequences_[static_cast<size_t>(seq)].blocks.size());
+}
+
+Matrix
+PagedKvCache::Gather(int seq, int kv_head, bool keys) const
+{
+    POD_CHECK_ARG(seq >= 0 && seq < static_cast<int>(sequences_.size()),
+                  "unknown sequence");
+    POD_CHECK_ARG(kv_head >= 0 && kv_head < num_kv_heads_,
+                  "kv head out of range");
+    const Sequence& s = sequences_[static_cast<size_t>(seq)];
+    Matrix out(static_cast<size_t>(s.length),
+               static_cast<size_t>(head_dim_));
+    size_t token_elems =
+        static_cast<size_t>(num_kv_heads_) * static_cast<size_t>(head_dim_);
+    size_t head_off =
+        static_cast<size_t>(kv_head) * static_cast<size_t>(head_dim_);
+    for (int t = 0; t < s.length; ++t) {
+        const Block& block =
+            pool_[static_cast<size_t>(s.blocks[static_cast<size_t>(
+                t / block_size_)])];
+        size_t slot = static_cast<size_t>(t % block_size_);
+        const std::vector<float>& src = keys ? block.k : block.v;
+        for (int c = 0; c < head_dim_; ++c) {
+            out.At(static_cast<size_t>(t), static_cast<size_t>(c)) =
+                src[slot * token_elems + head_off +
+                    static_cast<size_t>(c)];
+        }
+    }
+    return out;
+}
+
+Matrix
+PagedKvCache::GatherK(int seq, int kv_head) const
+{
+    return Gather(seq, kv_head, true);
+}
+
+Matrix
+PagedKvCache::GatherV(int seq, int kv_head) const
+{
+    return Gather(seq, kv_head, false);
+}
+
+}  // namespace pod::attnref

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Block-based (paged) KV cache storage, vLLM/PagedAttention style.
+ *
+ * Tokens of a sequence are stored in fixed-size blocks allocated from
+ * a shared pool, so sequences grow without contiguous reservations.
+ * The numeric hybrid-attention driver gathers per-head K/V matrices
+ * from these blocks; the serving layer reuses the same block
+ * accounting for admission control.
+ */
+#ifndef POD_ATTNREF_PAGED_KV_H
+#define POD_ATTNREF_PAGED_KV_H
+
+#include <cstdint>
+#include <vector>
+
+#include "attnref/matrix.h"
+
+namespace pod::attnref {
+
+/** Paged K/V storage for one attention layer. */
+class PagedKvCache
+{
+  public:
+    /**
+     * @param block_size tokens per block.
+     * @param num_kv_heads KV heads.
+     * @param head_dim head dimension.
+     */
+    PagedKvCache(int block_size, int num_kv_heads, int head_dim);
+
+    /** Register a new sequence; returns its id. */
+    int AddSequence();
+
+    /**
+     * Append one token's K and V for every KV head.
+     * @param seq sequence id.
+     * @param k num_kv_heads x head_dim values, head-major.
+     * @param v likewise.
+     */
+    void AppendToken(int seq, const std::vector<float>& k,
+                     const std::vector<float>& v);
+
+    /** Number of tokens stored for a sequence. */
+    int SeqLen(int seq) const;
+
+    /** Number of blocks allocated to a sequence. */
+    int SeqBlocks(int seq) const;
+
+    /** Total blocks allocated across all sequences. */
+    int TotalBlocks() const { return total_blocks_; }
+
+    /** Gather the keys of one (sequence, kv head) as an n x d matrix. */
+    Matrix GatherK(int seq, int kv_head) const;
+
+    /** Gather the values of one (sequence, kv head). */
+    Matrix GatherV(int seq, int kv_head) const;
+
+    int BlockSize() const { return block_size_; }
+    int NumKvHeads() const { return num_kv_heads_; }
+    int HeadDim() const { return head_dim_; }
+
+  private:
+    struct Block
+    {
+        /** block_size x (num_kv_heads x head_dim), token-major. */
+        std::vector<float> k;
+        std::vector<float> v;
+        int used = 0;
+    };
+
+    struct Sequence
+    {
+        std::vector<int> blocks;
+        int length = 0;
+    };
+
+    Matrix Gather(int seq, int kv_head, bool keys) const;
+
+    int block_size_;
+    int num_kv_heads_;
+    int head_dim_;
+    int total_blocks_ = 0;
+    std::vector<Block> pool_;
+    std::vector<Sequence> sequences_;
+};
+
+}  // namespace pod::attnref
+
+#endif  // POD_ATTNREF_PAGED_KV_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Implementation of the logging channels.
+ */
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pod {
+
+namespace {
+
+LogLevel ReadInitialLevel()
+{
+    const char* env = std::getenv("POD_LOG_LEVEL");
+    if (env == nullptr) {
+        return LogLevel::kWarn;
+    }
+    int v = std::atoi(env);
+    if (v < 0) v = 0;
+    if (v > 4) v = 4;
+    return static_cast<LogLevel>(v);
+}
+
+LogLevel& MutableLevel()
+{
+    static LogLevel level = ReadInitialLevel();
+    return level;
+}
+
+void VEmit(const char* tag, const char* fmt, va_list args)
+{
+    std::fprintf(stderr, "[%s] ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+LogLevel
+GetLogLevel()
+{
+    return MutableLevel();
+}
+
+void
+SetLogLevel(LogLevel level)
+{
+    MutableLevel() = level;
+}
+
+void
+Panic(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    VEmit("PANIC", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+Fatal(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    VEmit("FATAL", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+Warn(const char* fmt, ...)
+{
+    if (GetLogLevel() < LogLevel::kWarn) return;
+    va_list args;
+    va_start(args, fmt);
+    VEmit("warn", fmt, args);
+    va_end(args);
+}
+
+void
+Inform(const char* fmt, ...)
+{
+    if (GetLogLevel() < LogLevel::kInfo) return;
+    va_list args;
+    va_start(args, fmt);
+    VEmit("info", fmt, args);
+    va_end(args);
+}
+
+void
+Debug(const char* fmt, ...)
+{
+    if (GetLogLevel() < LogLevel::kDebug) return;
+    va_list args;
+    va_start(args, fmt);
+    VEmit("debug", fmt, args);
+    va_end(args);
+}
+
+}  // namespace pod

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight logging and error-reporting utilities.
+ *
+ * Follows the gem5 convention of distinguishing unrecoverable internal
+ * errors (Panic) from user-induced fatal conditions (Fatal), plus
+ * informational and warning channels gated by a runtime verbosity level.
+ */
+#ifndef POD_COMMON_LOGGING_H
+#define POD_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace pod {
+
+/** Verbosity levels for the logging channels. */
+enum class LogLevel : int {
+    kSilent = 0,   ///< No output at all.
+    kError = 1,    ///< Only errors.
+    kWarn = 2,     ///< Errors and warnings.
+    kInfo = 3,     ///< Errors, warnings and informational messages.
+    kDebug = 4,    ///< Everything, including debug traces.
+};
+
+/**
+ * Global log level. Initialized from the POD_LOG_LEVEL environment
+ * variable (0-4) and adjustable at runtime.
+ */
+LogLevel GetLogLevel();
+
+/** Override the global log level. */
+void SetLogLevel(LogLevel level);
+
+/**
+ * Report an unrecoverable internal error (a bug in this library) and
+ * abort. Mirrors gem5's panic().
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void Panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a fatal condition caused by invalid user input or
+ * configuration and exit(1). Mirrors gem5's fatal().
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void Fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning message (gated at LogLevel::kWarn). */
+void Warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational message (gated at LogLevel::kInfo). */
+void Inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a debug message (gated at LogLevel::kDebug). */
+void Debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a library invariant; on failure, Panic. Active in all build
+ * types (use only for cheap checks).
+ */
+#define POD_ASSERT(cond)                                                   \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::pod::Panic("assertion failed (%s) at %s:%d",                 \
+                         #cond, __FILE__, __LINE__);                       \
+        }                                                                  \
+    } while (0)
+
+/** Assert a library invariant with an explanatory printf message. */
+#define POD_ASSERT_MSG(cond, fmt, ...)                                     \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::pod::Panic("assertion failed (%s) at %s:%d: " fmt,           \
+                         #cond, __FILE__, __LINE__, __VA_ARGS__);          \
+        }                                                                  \
+    } while (0)
+
+/** Validate a user-supplied argument; on failure, Fatal. */
+#define POD_CHECK_ARG(cond, msg)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::pod::Fatal("invalid argument (%s): %s", #cond, msg);         \
+        }                                                                  \
+    } while (0)
+
+}  // namespace pod
+
+#endif  // POD_COMMON_LOGGING_H

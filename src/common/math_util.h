@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small integer and floating-point math helpers shared across modules.
+ */
+#ifndef POD_COMMON_MATH_UTIL_H
+#define POD_COMMON_MATH_UTIL_H
+
+#include <cstdint>
+#include <type_traits>
+
+namespace pod {
+
+/** Integer ceiling division for non-negative operands. */
+template <typename T>
+constexpr T
+CeilDiv(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return (a + b - 1) / b;
+}
+
+/** Round a up to the nearest multiple of b. */
+template <typename T>
+constexpr T
+RoundUp(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return CeilDiv(a, b) * b;
+}
+
+/** Round a down to the nearest multiple of b. */
+template <typename T>
+constexpr T
+RoundDown(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return (a / b) * b;
+}
+
+/** Clamp v into [lo, hi]. */
+template <typename T>
+constexpr T
+Clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** True if |a - b| <= tol * max(1, |a|, |b|). */
+inline bool
+ApproxEqual(double a, double b, double tol = 1e-9)
+{
+    double scale = 1.0;
+    double fa = a < 0 ? -a : a;
+    double fb = b < 0 ? -b : b;
+    if (fa > scale) scale = fa;
+    if (fb > scale) scale = fb;
+    double diff = a - b;
+    if (diff < 0) diff = -diff;
+    return diff <= tol * scale;
+}
+
+}  // namespace pod
+
+#endif  // POD_COMMON_MATH_UTIL_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Implementation of non-inline Rng draws.
+ */
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pod {
+
+double
+Rng::LogNormalByMoments(double mean, double stddev)
+{
+    POD_CHECK_ARG(mean > 0.0, "log-normal mean must be positive");
+    // Convert target moments to the underlying normal's (mu, sigma).
+    double variance = stddev * stddev;
+    double sigma2 = std::log(1.0 + variance / (mean * mean));
+    double mu = std::log(mean) - 0.5 * sigma2;
+    std::lognormal_distribution<double> dist(mu, std::sqrt(sigma2));
+    return dist(engine_);
+}
+
+size_t
+Rng::Weighted(const std::vector<double>& weights)
+{
+    POD_CHECK_ARG(!weights.empty(), "weights must be non-empty");
+    double total = 0.0;
+    for (double w : weights) {
+        POD_CHECK_ARG(w >= 0.0, "weights must be non-negative");
+        total += w;
+    }
+    POD_CHECK_ARG(total > 0.0, "weights must not all be zero");
+    double r = UniformReal(0.0, total);
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc) {
+            return i;
+        }
+    }
+    return weights.size() - 1;
+}
+
+}  // namespace pod

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Implementation of SampleStats.
+ */
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pod {
+
+void
+SampleStats::Add(double value)
+{
+    samples_.push_back(value);
+    sorted_ = false;
+}
+
+void
+SampleStats::AddAll(const std::vector<double>& values)
+{
+    samples_.insert(samples_.end(), values.begin(), values.end());
+    sorted_ = false;
+}
+
+double
+SampleStats::Mean() const
+{
+    if (samples_.empty()) return 0.0;
+    return Sum() / static_cast<double>(samples_.size());
+}
+
+double
+SampleStats::Sum() const
+{
+    double total = 0.0;
+    for (double s : samples_) total += s;
+    return total;
+}
+
+double
+SampleStats::Stddev() const
+{
+    if (samples_.size() < 2) return 0.0;
+    double mean = Mean();
+    double acc = 0.0;
+    for (double s : samples_) acc += (s - mean) * (s - mean);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double
+SampleStats::Min() const
+{
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleStats::Max() const
+{
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void
+SampleStats::EnsureSorted() const
+{
+    if (!sorted_) {
+        auto& mut = const_cast<std::vector<double>&>(samples_);
+        std::sort(mut.begin(), mut.end());
+        const_cast<bool&>(sorted_) = true;
+    }
+}
+
+double
+SampleStats::Percentile(double p) const
+{
+    POD_CHECK_ARG(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+    if (samples_.empty()) return 0.0;
+    EnsureSorted();
+    if (samples_.size() == 1) return samples_[0];
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+SampleStats::FractionAbove(double threshold) const
+{
+    if (samples_.empty()) return 0.0;
+    size_t n = 0;
+    for (double s : samples_) {
+        if (s > threshold) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+void
+SampleStats::Clear()
+{
+    samples_.clear();
+    sorted_ = true;
+}
+
+std::string
+SampleStats::Summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%zu mean=%.4g p50=%.4g p99=%.4g min=%.4g max=%.4g",
+                  Count(), Mean(), Percentile(50), Percentile(99), Min(),
+                  Max());
+    return std::string(buf);
+}
+
+double
+GeoMean(const std::vector<double>& values)
+{
+    if (values.empty()) return 0.0;
+    double acc = 0.0;
+    for (double v : values) {
+        POD_CHECK_ARG(v > 0.0, "geometric mean requires positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+}  // namespace pod

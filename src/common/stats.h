@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Summary statistics and percentile accumulators used by the
+ * benchmarks and the serving metrics collector.
+ */
+#ifndef POD_COMMON_STATS_H
+#define POD_COMMON_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pod {
+
+/**
+ * Accumulates scalar samples and reports summary statistics.
+ *
+ * Samples are retained so exact percentiles can be computed; suitable
+ * for the sample counts this library handles (millions at most).
+ */
+class SampleStats
+{
+  public:
+    /** Add one sample. */
+    void Add(double value);
+
+    /** Add many samples. */
+    void AddAll(const std::vector<double>& values);
+
+    /** Number of samples recorded. */
+    size_t Count() const { return samples_.size(); }
+
+    /** Arithmetic mean (0 if empty). */
+    double Mean() const;
+
+    /** Population standard deviation (0 if fewer than 2 samples). */
+    double Stddev() const;
+
+    /** Minimum sample (0 if empty). */
+    double Min() const;
+
+    /** Maximum sample (0 if empty). */
+    double Max() const;
+
+    /** Sum of all samples. */
+    double Sum() const;
+
+    /**
+     * Exact percentile via linear interpolation between order
+     * statistics. @param p in [0, 100].
+     */
+    double Percentile(double p) const;
+
+    /** Median, shorthand for Percentile(50). */
+    double Median() const { return Percentile(50.0); }
+
+    /** Fraction of samples strictly greater than the threshold. */
+    double FractionAbove(double threshold) const;
+
+    /** Access to raw samples (sorted on demand internally). */
+    const std::vector<double>& Samples() const { return samples_; }
+
+    /** Reset to empty. */
+    void Clear();
+
+    /** One-line human-readable summary. */
+    std::string Summary() const;
+
+  private:
+    /** Sort the retained samples if new ones arrived since last sort. */
+    void EnsureSorted() const;
+
+    std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Geometric mean of a vector of positive values (0 if empty). */
+double GeoMean(const std::vector<double>& values);
+
+}  // namespace pod
+
+#endif  // POD_COMMON_STATS_H

@@ -1,0 +1,738 @@
+/**
+ * @file
+ * Implementation of the fluid GPU execution engine.
+ */
+#include "gpusim/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pod::gpusim {
+
+namespace {
+
+/** Work below this many FLOPs/bytes counts as finished. */
+constexpr double kDoneEps = 1e-3;
+
+/** Upper bound on simulation events, guards against engine bugs. */
+constexpr long kMaxEvents = 200'000'000;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Mutable execution state of one work unit. */
+struct UnitState
+{
+    int cta = -1;
+    int sm = -1;
+    OpClass op = OpClass::kOther;
+    int warps = 4;
+    double mem_bw_cap = 0.0;
+    std::vector<Phase> phases;
+    size_t phase_idx = 0;
+    double rem_tensor = 0.0;
+    double rem_cuda = 0.0;
+    double rem_mem = 0.0;
+    bool done = false;
+    // Rates allocated for the current interval (scratch).
+    double r_tensor = 0.0;
+    double r_cuda = 0.0;
+    double r_mem = 0.0;
+
+    /** Load phase work into the remaining counters; false if no more
+     * non-empty phases. */
+    bool
+    LoadNextPhase()
+    {
+        while (phase_idx < phases.size()) {
+            const Phase& p = phases[phase_idx];
+            ++phase_idx;
+            if (!p.Empty()) {
+                rem_tensor = p.tensor_flops;
+                rem_cuda = p.cuda_flops;
+                rem_mem = p.mem_bytes;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** True if the current phase is fully served. */
+    bool
+    PhaseComplete() const
+    {
+        return rem_tensor <= kDoneEps && rem_cuda <= kDoneEps &&
+               rem_mem <= kDoneEps;
+    }
+};
+
+/** Mutable execution state of one CTA. */
+struct CtaState
+{
+    int kernel = -1;
+    int sm = -1;
+    int threads = 0;
+    double smem = 0.0;
+    int remaining_units = 0;
+};
+
+/** Mutable state of one SM. */
+struct SmState
+{
+    int free_threads = 0;
+    double free_smem = 0.0;
+    int resident_ctas = 0;
+    /** Resident CTA count per kernel (indexed by kernel id). */
+    std::vector<int> kernel_resident;
+    /** Ids of active (not done) units on this SM. */
+    std::vector<int> active_units;
+};
+
+/** Mutable state of one kernel launch. */
+struct KernelState
+{
+    const KernelDesc* desc = nullptr;
+    int stream = 0;
+    int dispatched = 0;
+    int completed_ctas = 0;
+    bool started = false;
+    bool finished = false;
+    double ready_time = kInf;
+    double start_time = 0.0;
+    double end_time = 0.0;
+};
+
+/** One in-order stream of kernels. */
+struct StreamState
+{
+    std::vector<int> kernels;
+    size_t head = 0;
+};
+
+/**
+ * Max-min fair allocation of a capacity among demands with caps.
+ * @param caps (cap, unit id) pairs, sorted ascending by cap.
+ * @param capacity total capacity to distribute.
+ * @param set_rate callback invoked as set_rate(unit_id, allocation).
+ */
+template <typename SetRate>
+void
+WaterFill(const std::vector<std::pair<double, int>>& caps, double capacity,
+          SetRate set_rate)
+{
+    size_t n = caps.size();
+    for (size_t i = 0; i < n; ++i) {
+        double share = capacity / static_cast<double>(n - i);
+        double give = std::min(caps[i].first, share);
+        set_rate(caps[i].second, give);
+        capacity -= give;
+    }
+}
+
+/** Full simulation state; one instance per FluidEngine::Run call. */
+class Simulation
+{
+  public:
+    Simulation(const GpuSpec& spec, const SimOptions& options,
+               const std::vector<KernelLaunch>& launches)
+        : spec_(spec), options_(options), rng_(options.seed)
+    {
+        sms_.resize(static_cast<size_t>(spec_.num_sms));
+        for (auto& sm : sms_) {
+            sm.free_threads = spec_.max_threads_per_sm;
+            sm.free_smem = spec_.shared_mem_per_sm;
+            sm.kernel_resident.assign(launches.size(), 0);
+        }
+        kernels_.reserve(launches.size());
+        int max_stream = 0;
+        for (const auto& launch : launches) {
+            max_stream = std::max(max_stream, launch.stream);
+        }
+        streams_.resize(static_cast<size_t>(max_stream) + 1);
+        for (size_t i = 0; i < launches.size(); ++i) {
+            KernelState ks;
+            ks.desc = &launches[i].kernel;
+            ks.stream = launches[i].stream;
+            POD_CHECK_ARG(ks.desc->cta_count >= 0,
+                          "kernel CTA count must be >= 0");
+            POD_CHECK_ARG(ks.desc->cta_count == 0 || ks.desc->assign,
+                          "kernel with CTAs needs an assign function");
+            kernels_.push_back(ks);
+            streams_[static_cast<size_t>(launches[i].stream)]
+                .kernels.push_back(static_cast<int>(i));
+        }
+        // Arm the head kernel of every stream.
+        for (auto& stream : streams_) {
+            ArmHead(stream, 0.0);
+        }
+    }
+
+    SimResult Run();
+
+  private:
+    /** Make the stream-head kernel dispatchable after launch overhead. */
+    void
+    ArmHead(StreamState& stream, double now)
+    {
+        while (stream.head < stream.kernels.size()) {
+            KernelState& ks =
+                kernels_[static_cast<size_t>(stream.kernels[stream.head])];
+            ks.ready_time = now + options_.kernel_launch_overhead;
+            if (ks.desc->cta_count > 0) {
+                break;
+            }
+            // Empty kernel: completes as soon as it becomes ready.
+            ks.started = true;
+            ks.finished = true;
+            ks.start_time = ks.ready_time;
+            ks.end_time = ks.ready_time;
+            ++stream.head;
+        }
+    }
+
+    /** True if the CTA footprint fits on the SM right now. */
+    bool
+    Fits(const SmState& sm, const KernelDesc& desc, int kernel_id) const
+    {
+        if (sm.free_threads < desc.resources.threads) return false;
+        if (sm.free_smem < desc.resources.shared_mem_bytes) return false;
+        if (sm.resident_ctas >= spec_.max_ctas_per_sm) return false;
+        if (desc.max_ctas_per_sm > 0 &&
+            sm.kernel_resident[static_cast<size_t>(kernel_id)] >=
+                desc.max_ctas_per_sm) {
+            return false;
+        }
+        return true;
+    }
+
+    /**
+     * Choose an SM for the next CTA: first fit scanning round-robin
+     * from a rotating pointer (models the hardware work distributor),
+     * optionally skipping to the next fit with placement_jitter
+     * probability. Returns -1 if nothing fits.
+     */
+    int
+    PickSm(const KernelDesc& desc, int kernel_id)
+    {
+        int first_fit = -1;
+        int second_fit = -1;
+        for (int off = 0; off < spec_.num_sms; ++off) {
+            int sm = (rr_pointer_ + off) % spec_.num_sms;
+            if (Fits(sms_[static_cast<size_t>(sm)], desc, kernel_id)) {
+                if (first_fit < 0) {
+                    first_fit = sm;
+                    if (options_.placement_jitter <= 0.0) break;
+                } else {
+                    second_fit = sm;
+                    break;
+                }
+            }
+        }
+        if (first_fit < 0) return -1;
+        int chosen = first_fit;
+        if (second_fit >= 0 && rng_.Bernoulli(options_.placement_jitter)) {
+            chosen = second_fit;
+        }
+        rr_pointer_ = (chosen + 1) % spec_.num_sms;
+        return chosen;
+    }
+
+    /** Place one CTA of the kernel; false if no SM has room. */
+    bool
+    DispatchOne(int kernel_id, double now)
+    {
+        KernelState& ks = kernels_[static_cast<size_t>(kernel_id)];
+        const KernelDesc& desc = *ks.desc;
+        int sm_id = PickSm(desc, kernel_id);
+        if (sm_id < 0) return false;
+
+        SmState& sm = sms_[static_cast<size_t>(sm_id)];
+        sm.free_threads -= desc.resources.threads;
+        sm.free_smem -= desc.resources.shared_mem_bytes;
+        sm.resident_ctas += 1;
+        sm.kernel_resident[static_cast<size_t>(kernel_id)] += 1;
+
+        if (!ks.started) {
+            ks.started = true;
+            ks.start_time = now;
+        }
+
+        CtaWork work = desc.assign(ks.dispatched, sm_id);
+        ks.dispatched += 1;
+
+        int cta_id = static_cast<int>(ctas_.size());
+        CtaState cta;
+        cta.kernel = kernel_id;
+        cta.sm = sm_id;
+        cta.threads = desc.resources.threads;
+        cta.smem = desc.resources.shared_mem_bytes;
+        cta.remaining_units = 0;
+        ctas_.push_back(cta);
+        ++total_ctas_;
+
+        for (auto& unit : work.units) {
+            UnitState us;
+            us.cta = cta_id;
+            us.sm = sm_id;
+            us.op = unit.op;
+            us.warps = std::max(1, unit.warps);
+            us.mem_bw_cap = unit.mem_bw_cap;
+            us.phases = std::move(unit.phases);
+            result_.per_op[static_cast<size_t>(us.op)].unit_count += 1;
+            if (!us.LoadNextPhase()) {
+                // Unit with no work: completes immediately.
+                continue;
+            }
+            int unit_id = static_cast<int>(units_.size());
+            units_.push_back(std::move(us));
+            active_units_.push_back(unit_id);
+            sms_[static_cast<size_t>(sm_id)].active_units.push_back(unit_id);
+            ctas_[static_cast<size_t>(cta_id)].remaining_units += 1;
+            op_active_[static_cast<size_t>(units_.back().op)] += 1;
+        }
+
+        if (ctas_[static_cast<size_t>(cta_id)].remaining_units == 0) {
+            // CTA carried no work at all; retire it on the spot.
+            RetireCta(cta_id, now);
+        }
+        return true;
+    }
+
+    /**
+     * Dispatch as many ready CTAs as fit, draining streams in
+     * submission order (earlier streams get priority, later streams
+     * backfill) -- the behaviour the paper observes for CUDA streams.
+     */
+    void
+    DispatchAll(double now)
+    {
+        for (auto& stream : streams_) {
+            while (stream.head < stream.kernels.size()) {
+                int kid = stream.kernels[stream.head];
+                KernelState& ks = kernels_[static_cast<size_t>(kid)];
+                if (now + 1e-15 < ks.ready_time) break;
+                if (ks.dispatched >= ks.desc->cta_count) break;
+                if (!DispatchOne(kid, now)) break;
+            }
+        }
+    }
+
+    /** Free a finished CTA's resources and advance kernel/stream state. */
+    void
+    RetireCta(int cta_id, double now)
+    {
+        CtaState& cta = ctas_[static_cast<size_t>(cta_id)];
+        SmState& sm = sms_[static_cast<size_t>(cta.sm)];
+        sm.free_threads += cta.threads;
+        sm.free_smem += cta.smem;
+        sm.resident_ctas -= 1;
+        sm.kernel_resident[static_cast<size_t>(cta.kernel)] -= 1;
+        if (options_.record_cta_times) {
+            result_.cta_finish_times.push_back(now);
+        }
+
+        KernelState& ks = kernels_[static_cast<size_t>(cta.kernel)];
+        ks.completed_ctas += 1;
+        if (ks.completed_ctas == ks.desc->cta_count) {
+            ks.finished = true;
+            ks.end_time = now;
+            StreamState& stream = streams_[static_cast<size_t>(ks.stream)];
+            // The finished kernel must be the stream head.
+            POD_ASSERT(stream.head < stream.kernels.size());
+            ++stream.head;
+            ArmHead(stream, now);
+        }
+    }
+
+    /** Compute resource rates for all active units (water-filling). */
+    void ComputeRates();
+
+    /** Earliest completion time delta at current rates (may be inf). */
+    double NextEventDelta() const;
+
+    /** Earliest pending kernel ready time (absolute; may be inf). */
+    double
+    NextReadyTime() const
+    {
+        double t = kInf;
+        for (const auto& stream : streams_) {
+            if (stream.head < stream.kernels.size()) {
+                const KernelState& ks = kernels_[static_cast<size_t>(
+                    stream.kernels[stream.head])];
+                if (!ks.finished && ks.dispatched < ks.desc->cta_count) {
+                    t = std::min(t, ks.ready_time);
+                }
+            }
+        }
+        return t;
+    }
+
+    /** Advance all active units by dt, accumulating accounting. */
+    void Advance(double dt);
+
+    /** Handle all units whose current phase just completed. */
+    void ProcessCompletions(double now);
+
+    const GpuSpec& spec_;
+    const SimOptions& options_;
+    Rng rng_;
+
+    std::vector<SmState> sms_;
+    std::vector<KernelState> kernels_;
+    std::vector<StreamState> streams_;
+    std::vector<CtaState> ctas_;
+    std::vector<UnitState> units_;
+    std::vector<int> active_units_;
+    int rr_pointer_ = 0;
+    int total_ctas_ = 0;
+
+    /** Active unit count per op class (for busy-time accounting). */
+    std::array<int, kNumOpClasses> op_active_ = {};
+
+    // Served-work integrals for utilization accounting.
+    double served_tensor_ = 0.0;
+    double served_cuda_ = 0.0;
+    double served_mem_ = 0.0;
+    double energy_ = 0.0;
+
+    SimResult result_;
+};
+
+void
+Simulation::ComputeRates()
+{
+    // Reset rates.
+    for (int uid : active_units_) {
+        UnitState& u = units_[static_cast<size_t>(uid)];
+        u.r_tensor = 0.0;
+        u.r_cuda = 0.0;
+        u.r_mem = 0.0;
+    }
+
+    // --- memory bandwidth first: per-warp cap, per-SM cap, global
+    // cap. Compute allocation below is demand-aware and needs the
+    // memory rates. ---
+    double global_want = 0.0;
+    for (auto& sm : sms_) {
+        if (sm.active_units.empty()) continue;
+        double sm_want = 0.0;
+        for (int uid : sm.active_units) {
+            UnitState& u = units_[static_cast<size_t>(uid)];
+            if (u.rem_mem > kDoneEps) {
+                u.r_mem = u.mem_bw_cap > 0.0
+                              ? u.mem_bw_cap
+                              : static_cast<double>(u.warps) *
+                                    spec_.warp_bandwidth_cap;
+                sm_want += u.r_mem;
+            }
+        }
+        if (sm_want > spec_.sm_bandwidth_cap) {
+            double scale = spec_.sm_bandwidth_cap / sm_want;
+            for (int uid : sm.active_units) {
+                units_[static_cast<size_t>(uid)].r_mem *= scale;
+            }
+            sm_want = spec_.sm_bandwidth_cap;
+        }
+        global_want += sm_want;
+    }
+    if (global_want > spec_.hbm_bandwidth) {
+        double scale = spec_.hbm_bandwidth / global_want;
+        for (int uid : active_units_) {
+            units_[static_cast<size_t>(uid)].r_mem *= scale;
+        }
+    }
+
+    // --- per-SM compute allocation (tensor + CUDA cores) ---
+    // Demand-aware: a unit that is still streaming memory in this
+    // phase only *wants* the compute rate that keeps pace with its
+    // memory (its math interleaves with memory stalls); purely
+    // compute-bound units want their full cap. Max-min water-fill
+    // over those wants lets prefill soak the tensor cores while
+    // co-located decode sips them -- the behaviour POD relies on.
+    std::vector<std::pair<double, int>> caps;
+    for (auto& sm : sms_) {
+        if (sm.active_units.empty()) continue;
+
+        // Tensor cores.
+        caps.clear();
+        for (int uid : sm.active_units) {
+            UnitState& u = units_[static_cast<size_t>(uid)];
+            if (u.rem_tensor > kDoneEps) {
+                double cap =
+                    spec_.tensor_flops_per_sm *
+                    std::min(1.0, static_cast<double>(u.warps) /
+                                      spec_.warps_per_tensor_saturation);
+                if (u.rem_mem > kDoneEps && u.r_mem > 0.0) {
+                    double paced =
+                        1.1 * u.rem_tensor * u.r_mem / u.rem_mem;
+                    cap = std::min(cap, paced);
+                }
+                caps.emplace_back(cap, uid);
+            }
+        }
+        if (!caps.empty()) {
+            std::sort(caps.begin(), caps.end());
+            WaterFill(caps, spec_.tensor_flops_per_sm,
+                      [this](int uid, double rate) {
+                          units_[static_cast<size_t>(uid)].r_tensor = rate;
+                      });
+        }
+
+        // CUDA cores.
+        caps.clear();
+        for (int uid : sm.active_units) {
+            UnitState& u = units_[static_cast<size_t>(uid)];
+            if (u.rem_cuda > kDoneEps) {
+                double cap =
+                    spec_.cuda_flops_per_sm *
+                    std::min(1.0, static_cast<double>(u.warps) /
+                                      spec_.warps_per_cuda_saturation);
+                if (u.rem_mem > kDoneEps && u.r_mem > 0.0) {
+                    double paced = 1.1 * u.rem_cuda * u.r_mem / u.rem_mem;
+                    cap = std::min(cap, paced);
+                }
+                caps.emplace_back(cap, uid);
+            }
+        }
+        if (!caps.empty()) {
+            std::sort(caps.begin(), caps.end());
+            WaterFill(caps, spec_.cuda_flops_per_sm,
+                      [this](int uid, double rate) {
+                          units_[static_cast<size_t>(uid)].r_cuda = rate;
+                      });
+        }
+    }
+}
+
+double
+Simulation::NextEventDelta() const
+{
+    double dt = kInf;
+    for (int uid : active_units_) {
+        const UnitState& u = units_[static_cast<size_t>(uid)];
+        if (u.rem_tensor > kDoneEps && u.r_tensor > 0.0) {
+            dt = std::min(dt, u.rem_tensor / u.r_tensor);
+        }
+        if (u.rem_cuda > kDoneEps && u.r_cuda > 0.0) {
+            dt = std::min(dt, u.rem_cuda / u.r_cuda);
+        }
+        if (u.rem_mem > kDoneEps && u.r_mem > 0.0) {
+            dt = std::min(dt, u.rem_mem / u.r_mem);
+        }
+    }
+    return dt;
+}
+
+void
+Simulation::Advance(double dt)
+{
+    double rate_tensor = 0.0;
+    double rate_cuda = 0.0;
+    double rate_mem = 0.0;
+    for (int uid : active_units_) {
+        UnitState& u = units_[static_cast<size_t>(uid)];
+        auto& op = result_.per_op[static_cast<size_t>(u.op)];
+        if (u.rem_tensor > kDoneEps) {
+            double amount = u.r_tensor * dt;
+            u.rem_tensor -= amount;
+            op.tensor_flops += amount;
+            rate_tensor += u.r_tensor;
+        }
+        if (u.rem_cuda > kDoneEps) {
+            double amount = u.r_cuda * dt;
+            u.rem_cuda -= amount;
+            op.cuda_flops += amount;
+            rate_cuda += u.r_cuda;
+        }
+        if (u.rem_mem > kDoneEps) {
+            double amount = u.r_mem * dt;
+            u.rem_mem -= amount;
+            op.mem_bytes += amount;
+            rate_mem += u.r_mem;
+        }
+    }
+    served_tensor_ += rate_tensor * dt;
+    served_cuda_ += rate_cuda * dt;
+    served_mem_ += rate_mem * dt;
+
+    for (int op = 0; op < kNumOpClasses; ++op) {
+        if (op_active_[static_cast<size_t>(op)] > 0) {
+            result_.per_op[static_cast<size_t>(op)].busy_time += dt;
+        }
+    }
+
+    double tensor_util = rate_tensor / spec_.TotalTensorFlops();
+    double cuda_util = rate_cuda / spec_.TotalCudaFlops();
+    double mem_util = rate_mem / spec_.hbm_bandwidth;
+    double power = spec_.idle_power_w + spec_.tensor_power_w * tensor_util +
+                   spec_.cuda_power_w * cuda_util +
+                   spec_.hbm_power_w * mem_util;
+    energy_ += power * dt;
+}
+
+void
+Simulation::ProcessCompletions(double now)
+{
+    for (size_t i = 0; i < active_units_.size();) {
+        int uid = active_units_[i];
+        UnitState& u = units_[static_cast<size_t>(uid)];
+        if (!u.PhaseComplete()) {
+            ++i;
+            continue;
+        }
+        if (u.LoadNextPhase()) {
+            ++i;
+            continue;
+        }
+        // Unit finished entirely. Persistent kernels may refill the
+        // lane with the next queued work item (paper S4.4).
+        const KernelDesc* desc =
+            kernels_[static_cast<size_t>(
+                         ctas_[static_cast<size_t>(u.cta)].kernel)]
+                .desc;
+        if (desc->refill) {
+            WorkUnit next;
+            if (desc->refill(u.sm, u.op, &next) &&
+                !next.phases.empty()) {
+                auto& old_op = result_.per_op[static_cast<size_t>(u.op)];
+                old_op.finish_time = std::max(old_op.finish_time, now);
+                op_active_[static_cast<size_t>(u.op)] -= 1;
+                u.op = next.op;
+                u.warps = std::max(1, next.warps);
+                u.mem_bw_cap = next.mem_bw_cap;
+                u.phases = std::move(next.phases);
+                u.phase_idx = 0;
+                result_.per_op[static_cast<size_t>(u.op)].unit_count += 1;
+                op_active_[static_cast<size_t>(u.op)] += 1;
+                if (u.LoadNextPhase()) {
+                    ++i;
+                    continue;
+                }
+                // Refilled with an empty unit: fall through to the
+                // retire path (it handles the new op's accounting).
+            }
+        }
+        u.done = true;
+        auto& op = result_.per_op[static_cast<size_t>(u.op)];
+        op.finish_time = std::max(op.finish_time, now);
+        op_active_[static_cast<size_t>(u.op)] -= 1;
+
+        // Remove from the SM's active list.
+        auto& sm_units = sms_[static_cast<size_t>(u.sm)].active_units;
+        auto it = std::find(sm_units.begin(), sm_units.end(), uid);
+        POD_ASSERT(it != sm_units.end());
+        *it = sm_units.back();
+        sm_units.pop_back();
+
+        // Remove from the global active list (swap-erase).
+        active_units_[i] = active_units_.back();
+        active_units_.pop_back();
+
+        CtaState& cta = ctas_[static_cast<size_t>(u.cta)];
+        cta.remaining_units -= 1;
+        if (cta.remaining_units == 0) {
+            RetireCta(u.cta, now);
+        }
+    }
+}
+
+SimResult
+Simulation::Run()
+{
+    double now = 0.0;
+    long events = 0;
+
+    DispatchAll(now);
+    while (true) {
+        bool all_done = true;
+        for (const auto& ks : kernels_) {
+            if (!ks.finished) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done) break;
+
+        POD_ASSERT_MSG(++events < kMaxEvents,
+                       "simulation exceeded %ld events", kMaxEvents);
+
+        if (active_units_.empty()) {
+            // Nothing resident: jump to the next kernel-ready time.
+            double ready = NextReadyTime();
+            POD_ASSERT_MSG(ready < kInf,
+                           "deadlock: no active units at t=%g", now);
+            now = std::max(now, ready);
+            DispatchAll(now);
+            continue;
+        }
+
+        ComputeRates();
+        double dt = NextEventDelta();
+        POD_ASSERT_MSG(dt < kInf,
+                       "starvation: active units with zero rates at t=%g",
+                       now);
+        // Stop early at the next kernel-ready boundary, but only if it
+        // is strictly in the future; a kernel that is already ready
+        // and merely waiting for SM resources must not stall time.
+        double ready = NextReadyTime();
+        if (ready > now + 1e-15 && now + dt > ready) {
+            dt = ready - now;
+        }
+        Advance(dt);
+        now += dt;
+        ProcessCompletions(now);
+        DispatchAll(now);
+    }
+
+    result_.total_time = now;
+    result_.total_ctas = total_ctas_;
+    result_.kernels.reserve(kernels_.size());
+    for (const auto& ks : kernels_) {
+        KernelTiming kt;
+        kt.name = ks.desc->name;
+        kt.start_time = ks.start_time;
+        kt.end_time = ks.end_time;
+        result_.kernels.push_back(kt);
+    }
+    if (now > 0.0) {
+        result_.tensor_util =
+            served_tensor_ / (now * spec_.TotalTensorFlops());
+        result_.cuda_util = served_cuda_ / (now * spec_.TotalCudaFlops());
+        result_.mem_util = served_mem_ / (now * spec_.hbm_bandwidth);
+    }
+    result_.energy_joules = energy_;
+    return result_;
+}
+
+}  // namespace
+
+FluidEngine::FluidEngine(GpuSpec spec, SimOptions options)
+    : spec_(std::move(spec)), options_(options)
+{
+    spec_.Validate();
+    POD_CHECK_ARG(options_.placement_jitter >= 0.0 &&
+                      options_.placement_jitter <= 1.0,
+                  "placement jitter must be a probability");
+    POD_CHECK_ARG(options_.kernel_launch_overhead >= 0.0,
+                  "launch overhead must be >= 0");
+}
+
+SimResult
+FluidEngine::Run(const std::vector<KernelLaunch>& launches)
+{
+    POD_CHECK_ARG(!launches.empty(), "need at least one kernel launch");
+    Simulation sim(spec_, options_, launches);
+    return sim.Run();
+}
+
+SimResult
+FluidEngine::RunKernel(const KernelDesc& kernel)
+{
+    std::vector<KernelLaunch> launches;
+    launches.push_back(KernelLaunch{kernel, 0});
+    return Run(launches);
+}
+
+}  // namespace pod::gpusim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * GpuSpec presets and validation.
+ */
+#include "gpusim/gpu_spec.h"
+
+#include "common/logging.h"
+
+namespace pod::gpusim {
+
+void
+GpuSpec::Validate() const
+{
+    POD_CHECK_ARG(num_sms > 0, "GPU must have at least one SM");
+    POD_CHECK_ARG(tensor_flops_per_sm > 0, "tensor throughput must be > 0");
+    POD_CHECK_ARG(cuda_flops_per_sm > 0, "CUDA throughput must be > 0");
+    POD_CHECK_ARG(hbm_bandwidth > 0, "HBM bandwidth must be > 0");
+    POD_CHECK_ARG(sm_bandwidth_cap > 0, "per-SM bandwidth cap must be > 0");
+    POD_CHECK_ARG(warp_bandwidth_cap > 0,
+                  "per-warp bandwidth cap must be > 0");
+    POD_CHECK_ARG(shared_mem_per_sm > 0, "shared memory must be > 0");
+    POD_CHECK_ARG(max_threads_per_sm >= 32, "SM must host at least a warp");
+    POD_CHECK_ARG(max_ctas_per_sm > 0, "SM must host at least one CTA");
+    POD_CHECK_ARG(warps_per_tensor_saturation > 0,
+                  "tensor saturation warp count must be > 0");
+    POD_CHECK_ARG(warps_per_cuda_saturation > 0,
+                  "CUDA saturation warp count must be > 0");
+}
+
+GpuSpec
+GpuSpec::A100Sxm80GB()
+{
+    GpuSpec spec;
+    spec.name = "A100-SXM4-80GB";
+    // Defaults in the struct already describe the A100; restated here
+    // explicitly so the preset is self-contained even if defaults move.
+    spec.num_sms = 108;
+    spec.tensor_flops_per_sm = 312e12 * 0.65 / 108.0;
+    spec.cuda_flops_per_sm = 19.5e12 * 0.7 / 108.0;
+    spec.hbm_bandwidth = 2039e9 * 0.85;
+    spec.sm_bandwidth_cap = 48e9;
+    spec.warp_bandwidth_cap = 6e9;
+    spec.shared_mem_per_sm = 163.0 * 1024.0;
+    spec.max_threads_per_sm = 2048;
+    spec.max_ctas_per_sm = 32;
+    spec.hbm_capacity = 80.0 * 1024.0 * 1024.0 * 1024.0;
+    spec.nvlink_bandwidth = 600e9;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::TestGpu8Sm()
+{
+    GpuSpec spec;
+    spec.name = "test-8sm";
+    spec.num_sms = 8;
+    // Round numbers so tests can assert exact times:
+    // 1 TFLOP/s tensor, 0.25 TFLOP/s CUDA per SM; 64 GB/s HBM total.
+    spec.tensor_flops_per_sm = 1e12;
+    spec.cuda_flops_per_sm = 0.25e12;
+    spec.hbm_bandwidth = 64e9;
+    spec.sm_bandwidth_cap = 16e9;
+    spec.warp_bandwidth_cap = 4e9;
+    spec.shared_mem_per_sm = 128.0 * 1024.0;
+    spec.max_threads_per_sm = 1024;
+    spec.max_ctas_per_sm = 8;
+    spec.hbm_capacity = 16.0 * 1024.0 * 1024.0 * 1024.0;
+    return spec;
+}
+
+}  // namespace pod::gpusim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of work-description helpers.
+ */
+#include "gpusim/work.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace pod::gpusim {
+
+const char*
+OpClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::kPrefill: return "prefill";
+      case OpClass::kDecode: return "decode";
+      case OpClass::kCompute: return "compute";
+      case OpClass::kMemory: return "memory";
+      case OpClass::kOther: return "other";
+    }
+    return "unknown";
+}
+
+double
+WorkUnit::TotalTensorFlops() const
+{
+    double total = 0.0;
+    for (const auto& p : phases) total += p.tensor_flops;
+    return total;
+}
+
+double
+WorkUnit::TotalCudaFlops() const
+{
+    double total = 0.0;
+    for (const auto& p : phases) total += p.cuda_flops;
+    return total;
+}
+
+double
+WorkUnit::TotalMemBytes() const
+{
+    double total = 0.0;
+    for (const auto& p : phases) total += p.mem_bytes;
+    return total;
+}
+
+double
+CtaWork::TotalTensorFlops() const
+{
+    double total = 0.0;
+    for (const auto& u : units) total += u.TotalTensorFlops();
+    return total;
+}
+
+double
+CtaWork::TotalCudaFlops() const
+{
+    double total = 0.0;
+    for (const auto& u : units) total += u.TotalCudaFlops();
+    return total;
+}
+
+double
+CtaWork::TotalMemBytes() const
+{
+    double total = 0.0;
+    for (const auto& u : units) total += u.TotalMemBytes();
+    return total;
+}
+
+KernelDesc
+KernelDesc::FromWorks(std::string name, CtaResources res,
+                      std::vector<CtaWork> works)
+{
+    KernelDesc desc;
+    desc.name = std::move(name);
+    desc.resources = res;
+    desc.cta_count = static_cast<int>(works.size());
+    auto shared = std::make_shared<std::vector<CtaWork>>(std::move(works));
+    desc.assign = [shared](int cta_index, int /*sm_id*/) {
+        POD_ASSERT(cta_index >= 0 &&
+                   cta_index < static_cast<int>(shared->size()));
+        return (*shared)[static_cast<size_t>(cta_index)];
+    };
+    return desc;
+}
+
+}  // namespace pod::gpusim

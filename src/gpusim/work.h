@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Work descriptions consumed by the fluid GPU simulator.
+ *
+ * A kernel is a set of CTAs; a CTA hosts one or more independent
+ * WorkUnits (one for normal kernels; several for POD's virtual decode
+ * CTAs and for HFuse-style warp-parallel fusion, where the CTA only
+ * retires when its slowest unit finishes -- the straggler effect).
+ * A WorkUnit is a sequence of Phases separated by CTA/warp-level
+ * barriers; within a phase, tensor-core work, CUDA-core work and HBM
+ * traffic proceed concurrently (flash kernels double-buffer), and the
+ * phase completes when all three are served.
+ */
+#ifndef POD_GPUSIM_WORK_H
+#define POD_GPUSIM_WORK_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pod::gpusim {
+
+/** Operation class, used for accounting and scheduling policies. */
+enum class OpClass : int {
+    kPrefill = 0,   ///< Prefill attention work.
+    kDecode = 1,    ///< Decode attention work.
+    kCompute = 2,   ///< Generic compute-bound work (micro kernels).
+    kMemory = 3,    ///< Generic memory-bound work (micro kernels).
+    kOther = 4,     ///< Anything else.
+};
+
+/** Number of OpClass values (for array-indexed accounting). */
+inline constexpr int kNumOpClasses = 5;
+
+/** Printable name of an OpClass. */
+const char* OpClassName(OpClass op);
+
+/**
+ * One barrier-delimited slice of a WorkUnit's execution.
+ * All demands within a phase are served concurrently.
+ */
+struct Phase
+{
+    /** Tensor-core work in FLOPs. */
+    double tensor_flops = 0.0;
+
+    /** CUDA-core (scalar/vector ALU) work in FLOPs. */
+    double cuda_flops = 0.0;
+
+    /** DRAM traffic in bytes. */
+    double mem_bytes = 0.0;
+
+    /** True if the phase carries no work at all. */
+    bool
+    Empty() const
+    {
+        return tensor_flops <= 0.0 && cuda_flops <= 0.0 && mem_bytes <= 0.0;
+    }
+};
+
+/**
+ * An independently progressing strand of work inside a CTA.
+ *
+ * The warp count bounds how much of each SM resource the unit can
+ * draw: memory bandwidth scales with warps (outstanding loads) and a
+ * few warps saturate the tensor cores.
+ */
+struct WorkUnit
+{
+    /** Barrier-delimited phases, executed in order. */
+    std::vector<Phase> phases;
+
+    /** Warps executing this unit. */
+    int warps = 4;
+
+    /** Operation class for accounting. */
+    OpClass op = OpClass::kOther;
+
+    /**
+     * Optional memory-bandwidth cap for this unit in bytes/s,
+     * modelling its achievable memory-level parallelism. 0 derives
+     * the cap from the warp count (warps x GpuSpec::warp_bandwidth_cap);
+     * kernels using async copies can sustain more outstanding loads
+     * per warp and set this explicitly.
+     */
+    double mem_bw_cap = 0.0;
+
+    /** Total tensor FLOPs over all phases. */
+    double TotalTensorFlops() const;
+
+    /** Total CUDA FLOPs over all phases. */
+    double TotalCudaFlops() const;
+
+    /** Total DRAM bytes over all phases. */
+    double TotalMemBytes() const;
+};
+
+/**
+ * Per-CTA resource footprint, fixed at kernel launch time
+ * (as on real hardware).
+ */
+struct CtaResources
+{
+    /** Threads per CTA. */
+    int threads = 128;
+
+    /** Shared memory per CTA in bytes. */
+    double shared_mem_bytes = 0.0;
+};
+
+/** The work a dispatched CTA performs. */
+struct CtaWork
+{
+    /** Independent work strands hosted by this CTA. */
+    std::vector<WorkUnit> units;
+
+    /** Aggregate tensor FLOPs of all units. */
+    double TotalTensorFlops() const;
+
+    /** Aggregate CUDA FLOPs of all units. */
+    double TotalCudaFlops() const;
+
+    /** Aggregate DRAM bytes of all units. */
+    double TotalMemBytes() const;
+};
+
+/**
+ * Kernel description: a grid of CTAs with a uniform resource
+ * footprint and a work-assignment function.
+ *
+ * Static kernels capture their CTA work lists in the closure and
+ * ignore the SM id. SM-aware kernels (POD-Attention) inspect the SM
+ * id at dispatch time -- the simulator calls `assign` exactly when the
+ * hardware scheduler places the CTA, mirroring runtime operation
+ * binding (paper Fig. 9).
+ */
+struct KernelDesc
+{
+    /** Kernel name for reporting. */
+    std::string name = "kernel";
+
+    /** Uniform per-CTA resource footprint. */
+    CtaResources resources;
+
+    /** Number of CTAs in the grid. */
+    int cta_count = 0;
+
+    /**
+     * Work assignment, invoked once per CTA at dispatch.
+     * @param cta_index dispatch sequence number in [0, cta_count).
+     * @param sm_id SM the hardware scheduler placed this CTA on.
+     */
+    std::function<CtaWork(int cta_index, int sm_id)> assign;
+
+    /**
+     * Optional cap on resident CTAs of this kernel per SM
+     * (0 = limited only by threads/shared memory/slot limits).
+     */
+    int max_ctas_per_sm = 0;
+
+    /**
+     * Optional persistent-threads refill (paper S4.4): when a work
+     * unit of this kernel completes, the engine invokes
+     * refill(sm_id, lane_op, &next); if it returns true, the same
+     * lane continues with `next` instead of retiring -- the CTA's
+     * resources are never released between work items. lane_op is the
+     * op class of the unit that just finished, so lanes pull work
+     * matching their warp shape.
+     */
+    std::function<bool(int sm_id, OpClass lane_op, WorkUnit* next)> refill;
+
+    /** Convenience: build a static kernel from a list of CTA works. */
+    static KernelDesc FromWorks(std::string name, CtaResources res,
+                                std::vector<CtaWork> works);
+};
+
+/** A kernel submitted to a stream. */
+struct KernelLaunch
+{
+    KernelDesc kernel;
+
+    /** Stream id; kernels in a stream serialize, streams may overlap. */
+    int stream = 0;
+};
+
+}  // namespace pod::gpusim
+
+#endif  // POD_GPUSIM_WORK_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Kernel assembly for the baseline attention strategies.
+ *
+ * These functions wrap UnitGeometry work lists into simulator
+ * KernelDescs for the execution strategies the paper compares
+ * against: standalone prefill/decode kernels (FA/FI serial and
+ * streams), the FI_Batched single-kernel strategy, and HFuse-style
+ * warp-parallel fusion with its straggler semantics (paper S3).
+ */
+#ifndef POD_KERNELS_ATTN_KERNELS_H
+#define POD_KERNELS_ATTN_KERNELS_H
+
+#include <string>
+
+#include "gpusim/work.h"
+#include "kernels/flash_geometry.h"
+
+namespace pod::kernels {
+
+/**
+ * Wrap a geometry into a plain kernel: one CTA per work unit, CTAs
+ * dispatched in unit order.
+ */
+gpusim::KernelDesc MakeSimpleKernel(std::string name,
+                                    const UnitGeometry& geom);
+
+/**
+ * FI_Batched: a single prefill-tile kernel computing both the prefill
+ * chunk and the (padded) decode tokens. CTAs are interleaved
+ * round-robin between the two unit lists, as a ragged-batch prefill
+ * kernel would emit them.
+ */
+gpusim::KernelDesc MakeBatchedPrefillKernel(std::string name,
+                                            const UnitGeometry& prefill,
+                                            const UnitGeometry& decode);
+
+/**
+ * HFuse-style horizontal (warp-parallel) fusion: CTA i hosts prefill
+ * unit i and decode unit i side by side; the grid is
+ * max(prefill, decode) CTAs and every CTA reserves the *sum* of both
+ * footprints for its entire lifetime. A CTA retires only when its
+ * slowest unit finishes -- the straggler problem (paper S3.1).
+ */
+gpusim::KernelDesc MakeHFuseKernel(std::string name,
+                                   const UnitGeometry& prefill,
+                                   const UnitGeometry& decode);
+
+}  // namespace pod::kernels
+
+#endif  // POD_KERNELS_ATTN_KERNELS_H

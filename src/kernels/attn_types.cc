@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Validation and convenience constructors for attention problem types.
+ */
+#include "kernels/attn_types.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pod::kernels {
+
+void
+AttnShape::Validate() const
+{
+    POD_CHECK_ARG(num_q_heads > 0, "need at least one query head");
+    POD_CHECK_ARG(num_kv_heads > 0, "need at least one KV head");
+    POD_CHECK_ARG(num_q_heads % num_kv_heads == 0,
+                  "query heads must be a multiple of KV heads (GQA)");
+    POD_CHECK_ARG(head_dim > 0, "head dimension must be positive");
+}
+
+void
+PrefillItem::Validate() const
+{
+    POD_CHECK_ARG(chunk_len > 0, "prefill chunk must be non-empty");
+    POD_CHECK_ARG(kv_len >= chunk_len,
+                  "kv_len must include the chunk itself");
+}
+
+int64_t
+DecodeItem::TotalContext() const
+{
+    int64_t total = 0;
+    for (int len : context_lens) total += len;
+    return total;
+}
+
+DecodeItem
+DecodeItem::Uniform(int batch_size, int context_len)
+{
+    DecodeItem item;
+    item.context_lens.assign(static_cast<size_t>(batch_size), context_len);
+    return item;
+}
+
+void
+DecodeItem::Validate() const
+{
+    for (int len : context_lens) {
+        POD_CHECK_ARG(len > 0, "decode context length must be positive");
+    }
+}
+
+void
+HybridBatch::Validate() const
+{
+    shape.Validate();
+    for (const auto& p : prefills) p.Validate();
+    decode.Validate();
+    POD_CHECK_ARG(HasPrefill() || HasDecode(),
+                  "hybrid batch must contain some work");
+}
+
+std::string
+HybridBatch::Describe() const
+{
+    char buf[160];
+    int chunk = prefills.empty() ? 0 : prefills[0].chunk_len;
+    int pkv = prefills.empty() ? 0 : prefills[0].kv_len;
+    double avg_ctx = 0.0;
+    if (decode.BatchSize() > 0) {
+        avg_ctx = static_cast<double>(decode.TotalContext()) /
+                  decode.BatchSize();
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "prefill(chunk=%d kv=%d) decode(bs=%d avg_ctx=%.0f) "
+                  "heads(q=%d kv=%d d=%d)",
+                  chunk, pkv, decode.BatchSize(), avg_ctx,
+                  shape.num_q_heads, shape.num_kv_heads, shape.head_dim);
+    return std::string(buf);
+}
+
+HybridBatch
+HybridBatch::Make(AttnShape shape, int chunk_len, int prefill_kv,
+                  int decode_bs, int decode_ctx)
+{
+    HybridBatch batch;
+    batch.shape = shape;
+    if (chunk_len > 0) {
+        batch.prefills.push_back(PrefillItem{chunk_len, prefill_kv});
+    }
+    if (decode_bs > 0) {
+        batch.decode = DecodeItem::Uniform(decode_bs, decode_ctx);
+    }
+    return batch;
+}
+
+}  // namespace pod::kernels

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The paper's S3.3 concurrent-execution case study (Fig. 7).
+ *
+ * A compute-bound kernel (repeated scalar multiplies) and a
+ * memory-bound kernel (repeated three-array adds), each with a
+ * barrier after every iteration, are executed with each candidate
+ * fusion strategy: serial, kernel-parallel (streams), naive
+ * CTA-parallel, intra-thread fusion, SM-aware CTA scheduling, and the
+ * perfect-overlap oracle.
+ */
+#ifndef POD_KERNELS_MICRO_H
+#define POD_KERNELS_MICRO_H
+
+#include "gpusim/engine.h"
+#include "gpusim/gpu_spec.h"
+
+namespace pod::kernels {
+
+/** Fusion strategies of Table 2 / Fig. 7. */
+enum class FusionStrategy : int {
+    kSerial = 0,       ///< One kernel after the other.
+    kStreams = 1,      ///< Kernel-parallel via two CUDA streams.
+    kCtaParallel = 2,  ///< Static CTA split, no SM awareness.
+    kIntraThread = 3,  ///< Instruction interleaving within threads.
+    kSmAwareCta = 4,   ///< POD's SM-aware CTA scheduling.
+    kOracle = 5,       ///< Perfect overlap: max of the two kernels.
+};
+
+/** Printable strategy name. */
+const char* FusionStrategyName(FusionStrategy strategy);
+
+/** Micro-benchmark parameters. */
+struct MicroParams
+{
+    /** Iterations of the compute kernel (x axis of Fig. 7). */
+    int compute_iters = 100;
+
+    /** Iterations of the memory kernel. */
+    int memory_iters = 100;
+
+    /** CTAs per kernel; 0 = 2 x num_sms (fills the device). */
+    int ctas = 0;
+
+    /**
+     * CUDA FLOPs per compute iteration per CTA; 0 auto-calibrates so
+     * 100 iterations take 1 ms with the device full.
+     */
+    double flops_per_iter = 0.0;
+
+    /** Bytes per memory iteration per CTA; 0 auto-calibrates as above. */
+    double bytes_per_iter = 0.0;
+
+    /**
+     * Fraction of a fused iteration's memory traffic that intra-thread
+     * fusion can hide under compute; the barrier after each iteration
+     * prevents hiding the rest (paper S3.1, "Intra-thread").
+     */
+    double intra_thread_overlap = 0.4;
+};
+
+/**
+ * Execute the micro-benchmark with one strategy and return the total
+ * runtime in seconds.
+ */
+double RunMicroStrategy(FusionStrategy strategy, const MicroParams& params,
+                        const gpusim::GpuSpec& spec,
+                        const gpusim::SimOptions& sim_options =
+                            gpusim::SimOptions());
+
+}  // namespace pod::kernels
+
+#endif  // POD_KERNELS_MICRO_H

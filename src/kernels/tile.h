@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Attention kernel tile configurations (paper S4.2.1).
+ *
+ * A tile is the (query rows x KV rows) block a CTA stages in shared
+ * memory per inner iteration. Tile choice drives the trade-offs the
+ * paper studies: large query tiles amortize tensor-core work for
+ * prefill but pad decode's one-token queries into redundant compute;
+ * shared-memory footprint scales with both dimensions and bounds CTA
+ * occupancy.
+ */
+#ifndef POD_KERNELS_TILE_H
+#define POD_KERNELS_TILE_H
+
+namespace pod::kernels {
+
+/** Tile shape and CTA sizing for a flash-style attention kernel. */
+struct TileConfig
+{
+    /** Query-sequence-length tile dimension (QSL, paper Fig. 10). */
+    int tile_q = 128;
+
+    /** KV tile dimension. */
+    int tile_kv = 64;
+
+    /** Warps per CTA executing this tile. */
+    int warps = 8;
+
+    /** Threads per CTA. */
+    int Threads() const { return warps * 32; }
+
+    /**
+     * Shared memory footprint in bytes: Q tile plus double-buffered
+     * K and V tiles, FP16.
+     */
+    double
+    SmemBytes(int head_dim) const
+    {
+        return (static_cast<double>(tile_q) + 2.0 * tile_kv) * head_dim *
+               2.0;
+    }
+};
+
+/** FA-2 prefill tile: 128x64, 8 warps (2 CTAs/SM on A100). */
+inline TileConfig
+PrefillTileLarge()
+{
+    return TileConfig{128, 64, 8};
+}
+
+/** Compact prefill tile for POD's 4-CTAs/SM configuration: 64x32. */
+inline TileConfig
+PrefillTileSmall()
+{
+    return TileConfig{64, 32, 4};
+}
+
+/** FlashAttention decode tile (QSL 64; paper S4.2.1: FA uses 64-128). */
+inline TileConfig
+DecodeTileFa()
+{
+    return TileConfig{64, 64, 4};
+}
+
+/**
+ * POD decode tile: QSL 16, the CUTLASS minimum for A100 tensor ops,
+ * minimizing redundant padded compute (paper S4.2.1).
+ */
+inline TileConfig
+DecodeTilePod()
+{
+    return TileConfig{16, 64, 4};
+}
+
+/** One-warp virtual decode CTA tile (paper S4.2.3). */
+inline TileConfig
+DecodeTileVirtual()
+{
+    return TileConfig{16, 64, 1};
+}
+
+}  // namespace pod::kernels
+
+#endif  // POD_KERNELS_TILE_H

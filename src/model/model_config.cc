@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Model presets and derived sizes.
+ */
+#include "model/model_config.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pod::model {
+
+kernels::AttnShape
+ModelConfig::ShapePerGpu(int tensor_parallel) const
+{
+    Validate(tensor_parallel);
+    kernels::AttnShape shape;
+    shape.num_q_heads = num_q_heads / tensor_parallel;
+    // GQA KV heads are replicated when tp exceeds the KV head count;
+    // the paper's configurations always have kv_heads >= tp.
+    shape.num_kv_heads = std::max(1, num_kv_heads / tensor_parallel);
+    shape.head_dim = head_dim;
+    return shape;
+}
+
+double
+ModelConfig::WeightBytesPerGpu(int tensor_parallel) const
+{
+    Validate(tensor_parallel);
+    double h = hidden_dim;
+    double qkv = h * (num_q_heads + 2.0 * num_kv_heads) * head_dim;
+    double out = static_cast<double>(num_q_heads) * head_dim * h;
+    double ffn = 3.0 * h * ffn_dim;  // gate, up, down
+    double per_layer = (qkv + out + ffn) / tensor_parallel;
+    double embed = 2.0 * h * vocab_size / tensor_parallel;  // in + lm head
+    return (per_layer * num_layers + embed) * 2.0;          // FP16
+}
+
+double
+ModelConfig::KvBytesPerTokenPerGpu(int tensor_parallel) const
+{
+    Validate(tensor_parallel);
+    double kv_heads_per_gpu =
+        std::max(1, num_kv_heads / tensor_parallel);
+    // K and V, FP16, every layer.
+    return 2.0 * 2.0 * kv_heads_per_gpu * head_dim * num_layers;
+}
+
+void
+ModelConfig::Validate(int tensor_parallel) const
+{
+    POD_CHECK_ARG(tensor_parallel >= 1, "tensor parallel must be >= 1");
+    POD_CHECK_ARG(num_q_heads % tensor_parallel == 0,
+                  "query heads must divide evenly across GPUs");
+    POD_CHECK_ARG(hidden_dim > 0 && num_layers > 0 && ffn_dim > 0 &&
+                      vocab_size > 0,
+                  "model dimensions must be positive");
+    POD_CHECK_ARG(num_q_heads % num_kv_heads == 0,
+                  "query heads must be a multiple of KV heads");
+}
+
+ModelConfig
+ModelConfig::Yi6B()
+{
+    ModelConfig config;
+    config.name = "Yi-6B";
+    config.hidden_dim = 4096;
+    config.num_layers = 32;
+    config.num_q_heads = 32;
+    config.num_kv_heads = 4;
+    config.head_dim = 128;
+    config.ffn_dim = 11008;
+    config.vocab_size = 64000;
+    return config;
+}
+
+ModelConfig
+ModelConfig::Llama2_7B()
+{
+    ModelConfig config;
+    config.name = "Llama-2-7B";
+    config.hidden_dim = 4096;
+    config.num_layers = 32;
+    config.num_q_heads = 32;
+    config.num_kv_heads = 32;  // MHA
+    config.head_dim = 128;
+    config.ffn_dim = 11008;
+    config.vocab_size = 32000;
+    return config;
+}
+
+ModelConfig
+ModelConfig::Llama3_8B()
+{
+    ModelConfig config;
+    config.name = "Llama-3-8B";
+    config.hidden_dim = 4096;
+    config.num_layers = 32;
+    config.num_q_heads = 32;
+    config.num_kv_heads = 8;
+    config.head_dim = 128;
+    config.ffn_dim = 14336;
+    config.vocab_size = 128256;
+    return config;
+}
+
+}  // namespace pod::model

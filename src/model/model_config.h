@@ -1,0 +1,65 @@
+/**
+ * @file
+ * LLM architecture descriptions for the models the paper evaluates
+ * (Table 4): Yi-6B, Llama-2-7B and Llama-3-8B.
+ */
+#ifndef POD_MODEL_MODEL_CONFIG_H
+#define POD_MODEL_MODEL_CONFIG_H
+
+#include <string>
+
+#include "kernels/attn_types.h"
+
+namespace pod::model {
+
+/** Transformer architecture parameters. */
+struct ModelConfig
+{
+    std::string name = "model";
+
+    /** Hidden (embedding) dimension. */
+    int hidden_dim = 4096;
+
+    /** Transformer layers. */
+    int num_layers = 32;
+
+    /** Query heads (whole model, before tensor parallelism). */
+    int num_q_heads = 32;
+
+    /** KV heads (GQA). */
+    int num_kv_heads = 8;
+
+    /** Head dimension. */
+    int head_dim = 128;
+
+    /** FFN intermediate dimension (gated: gate+up+down projections). */
+    int ffn_dim = 14336;
+
+    /** Vocabulary size (logits GEMM). */
+    int vocab_size = 128256;
+
+    /** Per-GPU attention shape under tensor parallelism. */
+    kernels::AttnShape ShapePerGpu(int tensor_parallel) const;
+
+    /** Per-GPU weight footprint in bytes (FP16). */
+    double WeightBytesPerGpu(int tensor_parallel) const;
+
+    /** Per-GPU KV-cache bytes for one token across all layers. */
+    double KvBytesPerTokenPerGpu(int tensor_parallel) const;
+
+    /** Validate; Fatal on inconsistency. */
+    void Validate(int tensor_parallel) const;
+
+    /** Yi-6B: 32 q heads, 4 KV heads (paper: 1 A100). */
+    static ModelConfig Yi6B();
+
+    /** Llama-2-7B: MHA, 32 KV heads (paper: 2 A100s, TP). */
+    static ModelConfig Llama2_7B();
+
+    /** Llama-3-8B: 8 KV heads (paper: 2 A100s, TP). */
+    static ModelConfig Llama3_8B();
+};
+
+}  // namespace pod::model
+
+#endif  // POD_MODEL_MODEL_CONFIG_H

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Implementation of the serving engine.
+ */
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "model/iteration_cost.h"
+
+namespace pod::serve {
+
+namespace {
+
+/** Round v up to a positive multiple of bucket. */
+int
+BucketUp(int v, int bucket)
+{
+    if (v <= 0) return 0;
+    return RoundUp(v, bucket);
+}
+
+}  // namespace
+
+long
+ServingConfig::KvTokenCapacity() const
+{
+    double usable = gpu.hbm_capacity * memory_fraction -
+                    model.WeightBytesPerGpu(tensor_parallel);
+    POD_CHECK_ARG(usable > 0, "model weights exceed usable GPU memory");
+    return static_cast<long>(
+        usable / model.KvBytesPerTokenPerGpu(tensor_parallel));
+}
+
+ServingEngine::ServingEngine(ServingConfig config,
+                             std::unique_ptr<Scheduler> scheduler)
+    : config_(std::move(config)), scheduler_(std::move(scheduler))
+{
+    POD_CHECK_ARG(scheduler_ != nullptr, "engine needs a scheduler");
+    config_.model.Validate(config_.tensor_parallel);
+    config_.gpu.Validate();
+}
+
+double
+ServingEngine::CachedAttnLayerTime(int chunk_len, int kv_len,
+                                   int decode_bs, int mean_context)
+{
+    // Bucket the signature.
+    int chunk = BucketUp(chunk_len, config_.chunk_bucket);
+    int kv = BucketUp(std::max(kv_len, chunk_len), config_.kv_bucket);
+    int dbs = decode_bs <= config_.decode_bs_bucket
+                  ? decode_bs
+                  : BucketUp(decode_bs, config_.decode_bs_bucket);
+    int ctx = BucketUp(std::max(mean_context, 1), config_.context_bucket);
+    if (chunk == 0) kv = 0;
+    if (dbs == 0) ctx = 0;
+    if (chunk == 0 && dbs == 0) return 0.0;
+
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(chunk))
+                    << 40) ^
+                   (static_cast<uint64_t>(static_cast<uint32_t>(kv))
+                    << 20) ^
+                   (static_cast<uint64_t>(static_cast<uint32_t>(dbs))
+                    << 44) ^
+                   (static_cast<uint64_t>(static_cast<uint32_t>(ctx)) *
+                    0x9E3779B97F4A7C15ull);
+    auto it = attn_cache_.find(key);
+    if (it != attn_cache_.end()) return it->second;
+
+    kernels::HybridBatch batch;
+    batch.shape = config_.model.ShapePerGpu(config_.tensor_parallel);
+    if (chunk > 0) {
+        batch.prefills.push_back(
+            kernels::PrefillItem{chunk, std::max(kv, chunk)});
+    }
+    if (dbs > 0) {
+        batch.decode = kernels::DecodeItem::Uniform(dbs, ctx);
+    }
+    core::AttnRunResult result = core::RunAttention(
+        config_.backend, batch, config_.gpu, config_.attn_options);
+    attn_cache_[key] = result.total_time;
+    return result.total_time;
+}
+
+double
+ServingEngine::IterationTime(const ScheduledBatch& batch,
+                             const std::vector<RequestState>& states)
+{
+    // Attention signature: total chunk tokens, max chunk context,
+    // decode count and mean decode context.
+    int chunk_total = 0;
+    int kv_max = 0;
+    for (const auto& p : batch.prefills) {
+        chunk_total += p.chunk_len;
+        kv_max = std::max(kv_max, p.kv_len_after);
+    }
+    long ctx_sum = 0;
+    for (int idx : batch.decodes) {
+        ctx_sum += states[static_cast<size_t>(idx)].ContextLen();
+    }
+    int dbs = static_cast<int>(batch.decodes.size());
+    int mean_ctx =
+        dbs > 0 ? static_cast<int>(ctx_sum / dbs) : 0;
+
+    double attn_layer =
+        CachedAttnLayerTime(chunk_total, kv_max, dbs, mean_ctx);
+    double attn = attn_layer * config_.model.num_layers;
+
+    // Linear ops at the exact token count.
+    int tokens = batch.TotalTokens();
+    model::LinearCosts linear = model::ComputeLinearCosts(
+        config_.model, config_.gpu, config_.tensor_parallel, tokens);
+    double linear_total =
+        (linear.qkv_proj + linear.out_proj + linear.ffn +
+         linear.allreduce + linear.elementwise) *
+        config_.model.num_layers;
+
+    // Logits for every decode plus prefills completing this iteration.
+    int logit_tokens = dbs;
+    for (const auto& p : batch.prefills) {
+        const RequestState& state = states[static_cast<size_t>(
+            p.req_index)];
+        if (state.prefilled + p.chunk_len >=
+            state.request.prefill_tokens) {
+            ++logit_tokens;
+        }
+    }
+    double logits = 0.0;
+    if (logit_tokens > 0) {
+        // Roofline of the LM-head GEMM.
+        double flops = 2.0 * logit_tokens *
+                       static_cast<double>(config_.model.hidden_dim) *
+                       config_.model.vocab_size / config_.tensor_parallel;
+        double bytes = static_cast<double>(config_.model.hidden_dim) *
+                           config_.model.vocab_size * 2.0 /
+                           config_.tensor_parallel +
+                       static_cast<double>(logit_tokens) *
+                           config_.model.vocab_size * 2.0;
+        logits = std::max(flops / config_.gpu.TotalTensorFlops(),
+                          bytes / config_.gpu.hbm_bandwidth);
+    }
+
+    return config_.iteration_overhead + linear_total + attn + logits;
+}
+
+MetricsReport
+ServingEngine::Run(std::vector<Request> requests)
+{
+    POD_CHECK_ARG(!requests.empty(), "need at least one request");
+    std::sort(requests.begin(), requests.end(),
+              [](const Request& a, const Request& b) {
+                  return a.arrival_time < b.arrival_time;
+              });
+
+    std::vector<RequestState> states(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        states[i].request = requests[i];
+        POD_CHECK_ARG(requests[i].prefill_tokens > 0,
+                      "request needs a prompt");
+        POD_CHECK_ARG(requests[i].decode_tokens >= 1,
+                      "request needs at least one output token");
+    }
+
+    long kv_tokens = config_.KvTokenCapacity();
+    BlockKvManager kv(
+        std::max<long>(1, kv_tokens / config_.kv_block_size),
+        config_.kv_block_size);
+
+    double now = 0.0;
+    long iterations = 0;
+    double total_batch_tokens = 0.0;
+    size_t finished = 0;
+
+    while (finished < states.size()) {
+        ScheduledBatch batch = scheduler_->Next(now, states, kv);
+        if (batch.Empty()) {
+            // Nothing runnable: jump to the next arrival.
+            double next_arrival = std::numeric_limits<double>::infinity();
+            for (const auto& state : states) {
+                if (!state.finished && !state.admitted &&
+                    state.request.arrival_time > now) {
+                    next_arrival = std::min(next_arrival,
+                                            state.request.arrival_time);
+                }
+            }
+            POD_ASSERT_MSG(next_arrival <
+                               std::numeric_limits<double>::infinity(),
+                           "scheduler stuck with %zu unfinished requests",
+                           states.size() - finished);
+            now = next_arrival;
+            continue;
+        }
+
+        double dt = IterationTime(batch, states);
+        now += dt;
+        ++iterations;
+        total_batch_tokens += batch.TotalTokens();
+
+        // Apply prefill progress.
+        for (const auto& p : batch.prefills) {
+            RequestState& state = states[static_cast<size_t>(p.req_index)];
+            state.prefilled += p.chunk_len;
+            POD_ASSERT(state.prefilled <= state.request.prefill_tokens);
+            if (state.PrefillDone()) {
+                // The completing iteration emits the first token.
+                state.decoded = 1;
+                state.first_token_time = now;
+                state.last_token_time = now;
+                if (state.decoded >= state.request.decode_tokens) {
+                    state.finished = true;
+                    state.finish_time = now;
+                    kv.Free(state.request.id);
+                    ++finished;
+                }
+            }
+        }
+
+        // Apply decode progress.
+        for (int idx : batch.decodes) {
+            RequestState& state = states[static_cast<size_t>(idx)];
+            state.decoded += 1;
+            state.tbt.push_back(now - state.last_token_time);
+            state.last_token_time = now;
+            if (state.decoded >= state.request.decode_tokens) {
+                state.finished = true;
+                state.finish_time = now;
+                kv.Free(state.request.id);
+                ++finished;
+            }
+        }
+    }
+
+    MetricsReport report =
+        CollectMetrics(states, now, iterations, total_batch_tokens);
+    report.system = scheduler_->Name();
+    return report;
+}
+
+}  // namespace pod::serve

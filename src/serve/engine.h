@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The serving engine: an iteration-level simulator of hybrid-batch
+ * LLM inference (Sarathi-Serve / vLLM execution loop).
+ *
+ * Each iteration: the scheduler forms a batch; linear-op time comes
+ * from the roofline model at the batch's exact token count; attention
+ * time comes from the kernel simulator through the configured backend
+ * (FA kernels for the vLLM/Sarathi baselines, the fused kernel for
+ * Sarathi+POD), memoized over bucketed batch signatures so
+ * thousand-request traces stay tractable (DESIGN.md S5.4).
+ */
+#ifndef POD_SERVE_ENGINE_H
+#define POD_SERVE_ENGINE_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/attention.h"
+#include "gpusim/gpu_spec.h"
+#include "model/model_config.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+#include "serve/scheduler.h"
+
+namespace pod::serve {
+
+/** Serving system configuration. */
+struct ServingConfig
+{
+    model::ModelConfig model = model::ModelConfig::Llama3_8B();
+    gpusim::GpuSpec gpu = gpusim::GpuSpec::A100Sxm80GB();
+    int tensor_parallel = 1;
+
+    /** Attention backend (kPod for Sarathi+POD). */
+    core::Backend backend = core::Backend::kFaSerial;
+
+    /** Attention run options (POD policy etc.). */
+    core::AttnRunOptions attn_options;
+
+    /** KV block size in tokens. */
+    int kv_block_size = 16;
+
+    /** Fraction of HBM usable for weights + KV. */
+    double memory_fraction = 0.9;
+
+    /**
+     * Fixed non-GPU time per iteration (scheduler, Python runtime,
+     * sampling) -- matches the serving stacks the paper builds on.
+     */
+    double iteration_overhead = 300e-6;
+
+    /** Bucketing for the attention memo cache. */
+    int chunk_bucket = 64;
+    int kv_bucket = 1024;
+    int decode_bs_bucket = 8;
+    int context_bucket = 1024;
+
+    /** KV pool capacity in tokens (per GPU). */
+    long KvTokenCapacity() const;
+};
+
+/** Runs a trace through a scheduler and reports metrics. */
+class ServingEngine
+{
+  public:
+    ServingEngine(ServingConfig config,
+                  std::unique_ptr<Scheduler> scheduler);
+
+    /**
+     * Simulate all requests to completion.
+     * Requests are sorted by arrival internally.
+     */
+    MetricsReport Run(std::vector<Request> requests);
+
+    /** Attention memo-cache entries created so far. */
+    size_t AttnCacheSize() const { return attn_cache_.size(); }
+
+    const ServingConfig& Config() const { return config_; }
+
+  private:
+    /** Memoized per-layer attention time for a bucketed signature. */
+    double CachedAttnLayerTime(int chunk_len, int kv_len, int decode_bs,
+                               int mean_context);
+
+    /** Iteration latency for a scheduled batch. */
+    double IterationTime(const ScheduledBatch& batch,
+                         const std::vector<RequestState>& states);
+
+    ServingConfig config_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unordered_map<uint64_t, double> attn_cache_;
+};
+
+}  // namespace pod::serve
+
+#endif  // POD_SERVE_ENGINE_H

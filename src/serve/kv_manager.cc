@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Implementation of KV block accounting.
+ */
+#include "serve/kv_manager.h"
+
+#include "common/logging.h"
+
+namespace pod::serve {
+
+BlockKvManager::BlockKvManager(long total_blocks, int block_size)
+    : total_blocks_(total_blocks), block_size_(block_size)
+{
+    POD_CHECK_ARG(total_blocks > 0, "KV pool must be non-empty");
+    POD_CHECK_ARG(block_size >= 1, "block size must be >= 1");
+}
+
+long
+BlockKvManager::BlocksFor(int tokens) const
+{
+    return CeilDiv(static_cast<long>(tokens),
+                   static_cast<long>(block_size_));
+}
+
+bool
+BlockKvManager::CanReserve(int tokens) const
+{
+    return BlocksFor(tokens) <= FreeBlocks();
+}
+
+bool
+BlockKvManager::Reserve(int request_id, int tokens)
+{
+    POD_CHECK_ARG(reserved_.find(request_id) == reserved_.end(),
+                  "request already holds a reservation");
+    long blocks = BlocksFor(tokens);
+    if (blocks > FreeBlocks()) return false;
+    reserved_[request_id] = blocks;
+    used_blocks_ += blocks;
+    return true;
+}
+
+void
+BlockKvManager::Free(int request_id)
+{
+    auto it = reserved_.find(request_id);
+    POD_CHECK_ARG(it != reserved_.end(), "request holds no reservation");
+    used_blocks_ -= it->second;
+    reserved_.erase(it);
+}
+
+}  // namespace pod::serve

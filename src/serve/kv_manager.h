@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Block-based KV cache accounting for the serving engine
+ * (PagedAttention-style admission control).
+ */
+#ifndef POD_SERVE_KV_MANAGER_H
+#define POD_SERVE_KV_MANAGER_H
+
+#include <unordered_map>
+
+#include "common/math_util.h"
+
+namespace pod::serve {
+
+/**
+ * Tracks KV block allocation per request. Admission is conservative:
+ * a request reserves blocks for its full prompt plus maximum output
+ * up front, so no preemption is ever needed (documented deviation
+ * from vLLM's watermark+preemption scheme; DESIGN.md S2).
+ */
+class BlockKvManager
+{
+  public:
+    /**
+     * @param total_blocks capacity of the device KV pool.
+     * @param block_size tokens per block.
+     */
+    BlockKvManager(long total_blocks, int block_size);
+
+    /** Blocks needed to hold `tokens` tokens. */
+    long BlocksFor(int tokens) const;
+
+    /** True if a reservation of `tokens` tokens would fit now. */
+    bool CanReserve(int tokens) const;
+
+    /** Reserve blocks for a request; false if out of capacity. */
+    bool Reserve(int request_id, int tokens);
+
+    /** Release a request's blocks. */
+    void Free(int request_id);
+
+    long TotalBlocks() const { return total_blocks_; }
+    long UsedBlocks() const { return used_blocks_; }
+    long FreeBlocks() const { return total_blocks_ - used_blocks_; }
+    int BlockSize() const { return block_size_; }
+
+    /** Fraction of the pool in use. */
+    double
+    Utilization() const
+    {
+        return total_blocks_ > 0
+                   ? static_cast<double>(used_blocks_) / total_blocks_
+                   : 0.0;
+    }
+
+  private:
+    long total_blocks_;
+    int block_size_;
+    long used_blocks_ = 0;
+    std::unordered_map<int, long> reserved_;
+};
+
+}  // namespace pod::serve
+
+#endif  // POD_SERVE_KV_MANAGER_H

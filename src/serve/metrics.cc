@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Implementation of serving metrics collection.
+ */
+#include "serve/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pod::serve {
+
+MetricsReport
+CollectMetrics(const std::vector<RequestState>& states, double makespan,
+               long iterations, double total_batch_tokens)
+{
+    MetricsReport report;
+    report.num_requests = static_cast<int>(states.size());
+    report.makespan = makespan;
+    report.iterations = iterations;
+    if (makespan > 0.0) {
+        report.requests_per_minute =
+            static_cast<double>(states.size()) / makespan * 60.0;
+    }
+    if (iterations > 0) {
+        report.mean_batch_tokens =
+            total_batch_tokens / static_cast<double>(iterations);
+    }
+
+    int stalled_200 = 0;
+    int stalled_500 = 0;
+    for (const auto& state : states) {
+        POD_ASSERT(state.finished);
+        report.ttft.Add(state.first_token_time -
+                        state.request.arrival_time);
+        report.latency.Add(state.finish_time - state.request.arrival_time);
+        double max_tbt = 0.0;
+        for (double gap : state.tbt) {
+            report.tbt.Add(gap);
+            max_tbt = std::max(max_tbt, gap);
+        }
+        if (max_tbt > 0.2) ++stalled_200;
+        if (max_tbt > 0.5) ++stalled_500;
+    }
+    if (!states.empty()) {
+        report.frac_stalled_200ms =
+            static_cast<double>(stalled_200) / states.size();
+        report.frac_stalled_500ms =
+            static_cast<double>(stalled_500) / states.size();
+    }
+    return report;
+}
+
+}  // namespace pod::serve

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Serving metrics: TTFT, TBT, request latency, stalls, throughput
+ * (the paper's Tables 5-7 and Figs. 12/15 reporting).
+ */
+#ifndef POD_SERVE_METRICS_H
+#define POD_SERVE_METRICS_H
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "serve/request.h"
+
+namespace pod::serve {
+
+/** Aggregate report of one serving run. */
+struct MetricsReport
+{
+    std::string system = "system";
+    std::string workload = "workload";
+
+    int num_requests = 0;
+
+    /** Wall time from start to last completion (seconds). */
+    double makespan = 0.0;
+
+    /** Offline throughput metric (paper Fig. 12). */
+    double requests_per_minute = 0.0;
+
+    long iterations = 0;
+
+    /** Time-to-first-token samples (seconds). */
+    SampleStats ttft;
+
+    /** Time-between-tokens samples (seconds), across all requests. */
+    SampleStats tbt;
+
+    /** End-to-end request latency samples (seconds). */
+    SampleStats latency;
+
+    /** Fraction of requests with at least one TBT > 200 ms. */
+    double frac_stalled_200ms = 0.0;
+
+    /** Fraction of requests with at least one TBT > 500 ms. */
+    double frac_stalled_500ms = 0.0;
+
+    /** Mean tokens per scheduled batch. */
+    double mean_batch_tokens = 0.0;
+};
+
+/** Build a report from final request states. */
+MetricsReport CollectMetrics(const std::vector<RequestState>& states,
+                             double makespan, long iterations,
+                             double total_batch_tokens);
+
+}  // namespace pod::serve
+
+#endif  // POD_SERVE_METRICS_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Implementation of the vLLM and Sarathi-Serve schedulers.
+ */
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pod::serve {
+
+namespace {
+
+/**
+ * Admit arrived, un-admitted requests FCFS while the KV pool can hold
+ * their full prompt + maximum output (conservative reservation; see
+ * BlockKvManager). Head-of-line blocking preserved: admission stops
+ * at the first request that does not fit.
+ */
+void
+AdmitFcfs(double now, std::vector<RequestState>& requests,
+          BlockKvManager& kv)
+{
+    for (auto& state : requests) {
+        if (state.finished || state.admitted) continue;
+        if (state.request.arrival_time > now) break;  // sorted by arrival
+        int total_tokens =
+            state.request.prefill_tokens + state.request.decode_tokens;
+        POD_CHECK_ARG(kv.BlocksFor(total_tokens) <= kv.TotalBlocks(),
+                      "request larger than the entire KV pool");
+        if (!kv.Reserve(state.request.id, total_tokens)) break;
+        state.admitted = true;
+    }
+}
+
+}  // namespace
+
+VllmScheduler::VllmScheduler(int max_batched_tokens, int max_num_seqs)
+    : max_batched_tokens_(max_batched_tokens), max_num_seqs_(max_num_seqs)
+{
+    POD_CHECK_ARG(max_batched_tokens >= 1, "token cap must be >= 1");
+    POD_CHECK_ARG(max_num_seqs >= 1, "sequence cap must be >= 1");
+}
+
+ScheduledBatch
+VllmScheduler::Next(double now, std::vector<RequestState>& requests,
+                    BlockKvManager& kv)
+{
+    AdmitFcfs(now, requests, kv);
+    ScheduledBatch batch;
+
+    // Prefill-prioritizing: if any admitted prompt is unprocessed,
+    // run a prefill-only iteration over whole prompts (no chunking).
+    int tokens = 0;
+    for (size_t i = 0; i < requests.size(); ++i) {
+        RequestState& state = requests[i];
+        if (!state.admitted || state.finished || state.PrefillDone()) {
+            continue;
+        }
+        int remaining = state.request.prefill_tokens - state.prefilled;
+        if (!batch.prefills.empty() &&
+            (tokens + remaining > max_batched_tokens_ ||
+             static_cast<int>(batch.prefills.size()) >= max_num_seqs_)) {
+            break;
+        }
+        batch.prefills.push_back(ScheduledBatch::PrefillChunk{
+            static_cast<int>(i), remaining, state.request.prefill_tokens});
+        tokens += remaining;
+    }
+    if (!batch.prefills.empty()) {
+        return batch;  // decodes pause: the generation stall (Fig. 2a)
+    }
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+        if (requests[i].admitted && !requests[i].finished &&
+            requests[i].DecodePending()) {
+            batch.decodes.push_back(static_cast<int>(i));
+            if (static_cast<int>(batch.decodes.size()) >= max_num_seqs_) {
+                break;
+            }
+        }
+    }
+    return batch;
+}
+
+SarathiScheduler::SarathiScheduler(int token_budget, int max_num_seqs)
+    : token_budget_(token_budget), max_num_seqs_(max_num_seqs)
+{
+    POD_CHECK_ARG(token_budget >= 1, "token budget must be >= 1");
+    POD_CHECK_ARG(max_num_seqs >= 1, "sequence cap must be >= 1");
+}
+
+ScheduledBatch
+SarathiScheduler::Next(double now, std::vector<RequestState>& requests,
+                       BlockKvManager& kv)
+{
+    AdmitFcfs(now, requests, kv);
+    ScheduledBatch batch;
+
+    // All running decodes join every iteration: stall-free batching.
+    for (size_t i = 0; i < requests.size(); ++i) {
+        if (requests[i].admitted && !requests[i].finished &&
+            requests[i].DecodePending()) {
+            batch.decodes.push_back(static_cast<int>(i));
+            if (static_cast<int>(batch.decodes.size()) >= max_num_seqs_) {
+                break;
+            }
+        }
+    }
+
+    // Prefill chunks fill the remaining token budget (paper S2.1).
+    int budget =
+        std::max(0, token_budget_ - static_cast<int>(batch.decodes.size()));
+    for (size_t i = 0; i < requests.size() && budget > 0; ++i) {
+        RequestState& state = requests[i];
+        if (!state.admitted || state.finished || state.PrefillDone()) {
+            continue;
+        }
+        int remaining = state.request.prefill_tokens - state.prefilled;
+        int chunk = std::min(budget, remaining);
+        batch.prefills.push_back(ScheduledBatch::PrefillChunk{
+            static_cast<int>(i), chunk, state.prefilled + chunk});
+        budget -= chunk;
+    }
+    return batch;
+}
+
+}  // namespace pod::serve

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Iteration-level batch schedulers (paper S2.1, Fig. 2).
+ *
+ * The engine asks the scheduler for the next batch each iteration.
+ * Two policies from the paper:
+ *
+ *  - VllmScheduler: the original vLLM prefill-prioritizing policy.
+ *    Whenever prompts wait, it runs a prefill-only iteration over
+ *    whole prompts, pausing all decodes (low TTFT, generation stalls
+ *    -> high tail TBT).
+ *  - SarathiScheduler: chunked prefills + stall-free hybrid batching.
+ *    Every iteration carries all running decodes plus prefill chunks
+ *    filling the remaining token budget (bounded TBT, higher TTFT).
+ */
+#ifndef POD_SERVE_SCHEDULER_H
+#define POD_SERVE_SCHEDULER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/kv_manager.h"
+#include "serve/request.h"
+
+namespace pod::serve {
+
+/** The batch chosen for one iteration. */
+struct ScheduledBatch
+{
+    /** One prefill chunk of a request. */
+    struct PrefillChunk
+    {
+        /** Index into the engine's request-state array. */
+        int req_index = 0;
+
+        /** Tokens of the prompt processed this iteration. */
+        int chunk_len = 0;
+
+        /** KV length after this chunk (context the chunk attends). */
+        int kv_len_after = 0;
+    };
+
+    std::vector<PrefillChunk> prefills;
+
+    /** Request-state indices decoding this iteration. */
+    std::vector<int> decodes;
+
+    bool Empty() const { return prefills.empty() && decodes.empty(); }
+
+    /** Total new tokens in this batch. */
+    int
+    TotalTokens() const
+    {
+        int tokens = static_cast<int>(decodes.size());
+        for (const auto& p : prefills) tokens += p.chunk_len;
+        return tokens;
+    }
+};
+
+/** Scheduler interface. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Choose the next batch.
+     * @param now current time (requests with arrival_time > now are
+     *        invisible).
+     * @param requests all request states (scheduler may admit by
+     *        setting admitted and reserving KV).
+     * @param kv block pool for admission control.
+     */
+    virtual ScheduledBatch Next(double now,
+                                std::vector<RequestState>& requests,
+                                BlockKvManager& kv) = 0;
+
+    /** Policy name for reports. */
+    virtual std::string Name() const = 0;
+};
+
+/** Original vLLM scheduler (prefill-prioritizing, no chunking). */
+class VllmScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param max_batched_tokens cap on prefill tokens per iteration.
+     * @param max_num_seqs cap on sequences per batch.
+     */
+    explicit VllmScheduler(int max_batched_tokens = 16384,
+                           int max_num_seqs = 256);
+
+    ScheduledBatch Next(double now, std::vector<RequestState>& requests,
+                        BlockKvManager& kv) override;
+
+    std::string Name() const override { return "vLLM"; }
+
+  private:
+    int max_batched_tokens_;
+    int max_num_seqs_;
+};
+
+/** Sarathi-Serve scheduler (chunked prefills, hybrid batching). */
+class SarathiScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param token_budget per-iteration token budget; decodes count
+     *        one token each, prefill chunks fill the remainder
+     *        (the paper's "chunk size").
+     * @param max_num_seqs cap on sequences per batch.
+     */
+    explicit SarathiScheduler(int token_budget = 512,
+                              int max_num_seqs = 256);
+
+    ScheduledBatch Next(double now, std::vector<RequestState>& requests,
+                        BlockKvManager& kv) override;
+
+    std::string Name() const override { return "Sarathi"; }
+
+  private:
+    int token_budget_;
+    int max_num_seqs_;
+};
+
+}  // namespace pod::serve
+
+#endif  // POD_SERVE_SCHEDULER_H

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Implementation of synthetic workload generation.
+ */
+#include "serve/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace pod::serve {
+
+WorkloadSpec
+WorkloadSpec::Internal()
+{
+    WorkloadSpec spec;
+    spec.name = "internal";
+    spec.prefill_mean = 10500.0;
+    spec.prefill_stddev = 5000.0;
+    spec.prefill_min = 2048;
+    spec.prefill_max = 32768;
+    spec.decode_mean = 331.0;
+    spec.decode_stddev = 250.0;
+    spec.decode_min = 16;
+    spec.decode_max = 2048;
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::Arxiv()
+{
+    WorkloadSpec spec;
+    spec.name = "arxiv";
+    spec.prefill_mean = 9500.0;
+    spec.prefill_stddev = 4500.0;
+    spec.prefill_min = 2048;
+    spec.prefill_max = 32768;
+    spec.decode_mean = 470.0;
+    spec.decode_stddev = 350.0;
+    spec.decode_min = 32;
+    spec.decode_max = 3072;
+    return spec;
+}
+
+std::vector<Request>
+GenerateTrace(const WorkloadSpec& spec, int count, double qps, Rng& rng)
+{
+    POD_CHECK_ARG(count > 0, "trace needs at least one request");
+    std::vector<Request> requests;
+    requests.reserve(static_cast<size_t>(count));
+    double now = 0.0;
+    for (int i = 0; i < count; ++i) {
+        Request req;
+        req.id = i;
+        if (qps > 0.0) {
+            now += rng.Exponential(qps);
+            req.arrival_time = now;
+        }
+        req.prefill_tokens = static_cast<int>(Clamp(
+            rng.LogNormalByMoments(spec.prefill_mean, spec.prefill_stddev),
+            static_cast<double>(spec.prefill_min),
+            static_cast<double>(spec.prefill_max)));
+        req.decode_tokens = static_cast<int>(Clamp(
+            rng.LogNormalByMoments(spec.decode_mean, spec.decode_stddev),
+            static_cast<double>(spec.decode_min),
+            static_cast<double>(spec.decode_max)));
+        requests.push_back(req);
+    }
+    return requests;
+}
+
+std::vector<Request>
+UniformTrace(int count, int prefill_tokens, int decode_tokens)
+{
+    POD_CHECK_ARG(count > 0, "trace needs at least one request");
+    POD_CHECK_ARG(prefill_tokens > 0 && decode_tokens > 0,
+                  "token counts must be positive");
+    std::vector<Request> requests(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        requests[static_cast<size_t>(i)].id = i;
+        requests[static_cast<size_t>(i)].prefill_tokens = prefill_tokens;
+        requests[static_cast<size_t>(i)].decode_tokens = decode_tokens;
+    }
+    return requests;
+}
+
+std::vector<Request>
+PdRatioTrace(int count, int total_tokens, double pd_ratio)
+{
+    POD_CHECK_ARG(pd_ratio > 0.0, "P:D ratio must be positive");
+    std::vector<Request> requests(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        Request& req = requests[static_cast<size_t>(i)];
+        req.id = i;
+        double decode = total_tokens / (pd_ratio + 1.0);
+        req.decode_tokens = std::max(1, static_cast<int>(decode));
+        req.prefill_tokens =
+            std::max(1, total_tokens - req.decode_tokens);
+    }
+    return requests;
+}
+
+}  // namespace pod::serve

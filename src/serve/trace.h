@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic workload traces matching the paper's evaluation
+ * workloads (S5: internal enterprise and arXiv-summarization based,
+ * plus the offline and P:D-ratio sweeps).
+ *
+ * The real traces are proprietary / dataset-derived; these generators
+ * reproduce the published statistics: mean context length, P:D ratio
+ * range, mean decode length and Poisson arrivals (DESIGN.md S2).
+ */
+#ifndef POD_SERVE_TRACE_H
+#define POD_SERVE_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/request.h"
+
+namespace pod::serve {
+
+/** Parameters of a synthetic workload. */
+struct WorkloadSpec
+{
+    std::string name = "workload";
+
+    /** Mean / stddev of the (log-normal) prompt length. */
+    double prefill_mean = 10500.0;
+    double prefill_stddev = 5000.0;
+    int prefill_min = 1024;
+    int prefill_max = 32768;
+
+    /** Mean / stddev of the (log-normal) output length. */
+    double decode_mean = 331.0;
+    double decode_stddev = 250.0;
+    int decode_min = 16;
+    int decode_max = 4096;
+
+    /**
+     * Internal enterprise workload (paper S5): mean context 10.5K,
+     * P:D ratio 0-40, mean decode 331.
+     */
+    static WorkloadSpec Internal();
+
+    /**
+     * arXiv-summarization workload (paper S5): mean context 9.5K,
+     * P:D 0-50, mean decode 470 (42% more decode tokens than
+     * Internal).
+     */
+    static WorkloadSpec Arxiv();
+};
+
+/**
+ * Generate `count` requests with log-normal prompt/output lengths and
+ * Poisson arrivals at rate `qps` (qps <= 0: all arrive at t=0).
+ */
+std::vector<Request> GenerateTrace(const WorkloadSpec& spec, int count,
+                                   double qps, Rng& rng);
+
+/**
+ * Offline workload of Fig. 12: `count` identical requests
+ * (prefill_tokens, decode_tokens), all queued at t=0.
+ */
+std::vector<Request> UniformTrace(int count, int prefill_tokens,
+                                  int decode_tokens);
+
+/**
+ * P:D-ratio sweep workload of Fig. 15: every request totals
+ * ~`total_tokens` split so prefill:decode == ratio.
+ */
+std::vector<Request> PdRatioTrace(int count, int total_tokens,
+                                  double pd_ratio);
+
+}  // namespace pod::serve
+
+#endif  // POD_SERVE_TRACE_H

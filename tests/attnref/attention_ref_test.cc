@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Numeric tests: the flash-style tiled and split-KV algorithms must
+ * reproduce naive attention exactly (to FP32 tolerance) across
+ * shapes, tiles, splits and causal offsets.
+ */
+#include "attnref/attention_ref.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace pod::attnref {
+namespace {
+
+constexpr double kTol = 2e-5;
+
+struct Problem
+{
+    Matrix q, k, v;
+};
+
+Problem
+RandomProblem(size_t m, size_t n, size_t d, uint64_t seed)
+{
+    Rng rng(seed);
+    Problem p{Matrix(m, d), Matrix(n, d), Matrix(n, d)};
+    p.q.FillRandom(rng);
+    p.k.FillRandom(rng);
+    p.v.FillRandom(rng);
+    return p;
+}
+
+TEST(NaiveAttention, UniformValuesGiveUniformOutput)
+{
+    // All V rows identical: attention output equals that row for any
+    // softmax weights.
+    Problem p = RandomProblem(4, 16, 8, 1);
+    for (size_t r = 0; r < p.v.Rows(); ++r) {
+        for (size_t c = 0; c < p.v.Cols(); ++c) {
+            p.v.At(r, c) = static_cast<float>(c);
+        }
+    }
+    Matrix out = NaiveAttention(p.q, p.k, p.v, 12, true, 0.35f);
+    for (size_t r = 0; r < out.Rows(); ++r) {
+        for (size_t c = 0; c < out.Cols(); ++c) {
+            EXPECT_NEAR(out.At(r, c), static_cast<float>(c), kTol);
+        }
+    }
+}
+
+TEST(NaiveAttention, SingleKeyIsIdentity)
+{
+    Problem p = RandomProblem(3, 1, 8, 2);
+    Matrix out = NaiveAttention(p.q, p.k, p.v, 0, false, 1.0f);
+    for (size_t r = 0; r < out.Rows(); ++r) {
+        for (size_t c = 0; c < out.Cols(); ++c) {
+            EXPECT_NEAR(out.At(r, c), p.v.At(0, c), kTol);
+        }
+    }
+}
+
+TEST(NaiveAttention, CausalMaskLimitsAttention)
+{
+    // With pos_offset 0, row 0 sees only key 0.
+    Problem p = RandomProblem(2, 8, 4, 3);
+    Matrix out = NaiveAttention(p.q, p.k, p.v, 0, true, 0.5f);
+    for (size_t c = 0; c < 4; ++c) {
+        EXPECT_NEAR(out.At(0, c), p.v.At(0, c), kTol);
+    }
+}
+
+TEST(NaiveAttention, LargeScoreStability)
+{
+    // Large dot products must not overflow thanks to max-subtraction.
+    Problem p = RandomProblem(2, 16, 8, 4);
+    for (auto& x : p.q.Data()) x *= 50.0f;
+    for (auto& x : p.k.Data()) x *= 50.0f;
+    Matrix out = NaiveAttention(p.q, p.k, p.v, 15, true, 1.0f);
+    for (float x : out.Data()) {
+        EXPECT_TRUE(std::isfinite(x));
+    }
+}
+
+TEST(FlashTiled, MatchesNaiveNonCausal)
+{
+    Problem p = RandomProblem(16, 100, 32, 5);
+    Matrix naive = NaiveAttention(p.q, p.k, p.v, 0, false, 0.17f);
+    Matrix flash =
+        FlashAttentionTiled(p.q, p.k, p.v, 0, false, 0.17f, 8, 16);
+    EXPECT_LT(naive.MaxAbsDiff(flash), kTol);
+}
+
+TEST(FlashTiled, MatchesNaiveCausalWithOffset)
+{
+    // Chunked prefill: 16 queries, 80 prior tokens (offset 80).
+    Problem p = RandomProblem(16, 96, 32, 6);
+    Matrix naive = NaiveAttention(p.q, p.k, p.v, 80, true, 0.17f);
+    Matrix flash =
+        FlashAttentionTiled(p.q, p.k, p.v, 80, true, 0.17f, 4, 7);
+    EXPECT_LT(naive.MaxAbsDiff(flash), kTol);
+}
+
+TEST(SplitKv, SingleSplitMatchesPartial)
+{
+    Problem p = RandomProblem(4, 64, 16, 7);
+    SplitPartial partial = FlashAttentionPartial(p.q, p.k, p.v, 0, 64, 60,
+                                                 true, 0.25f, 16);
+    Matrix merged = MergeSplitPartials({partial});
+    Matrix naive = NaiveAttention(p.q, p.k, p.v, 60, true, 0.25f);
+    EXPECT_LT(naive.MaxAbsDiff(merged), kTol);
+}
+
+TEST(SplitKv, MergeMatchesNaive)
+{
+    Problem p = RandomProblem(4, 100, 16, 8);
+    std::vector<SplitPartial> partials;
+    int boundaries[] = {0, 30, 64, 100};
+    for (int s = 0; s < 3; ++s) {
+        partials.push_back(FlashAttentionPartial(
+            p.q, p.k, p.v, boundaries[s], boundaries[s + 1], 96, true,
+            0.25f, 13));
+    }
+    Matrix merged = MergeSplitPartials(partials);
+    Matrix naive = NaiveAttention(p.q, p.k, p.v, 96, true, 0.25f);
+    EXPECT_LT(naive.MaxAbsDiff(merged), kTol);
+}
+
+TEST(SplitKv, EmptySplitsAreNeutral)
+{
+    Problem p = RandomProblem(2, 32, 8, 9);
+    SplitPartial full = FlashAttentionPartial(p.q, p.k, p.v, 0, 32, 31,
+                                              true, 0.3f, 8);
+    SplitPartial empty = FlashAttentionPartial(p.q, p.k, p.v, 32, 32, 31,
+                                               true, 0.3f, 8);
+    Matrix merged = MergeSplitPartials({full, empty});
+    Matrix naive = NaiveAttention(p.q, p.k, p.v, 31, true, 0.3f);
+    EXPECT_LT(naive.MaxAbsDiff(merged), kTol);
+}
+
+TEST(SplitKv, RowsBeyondCausalReachAreZero)
+{
+    // A split entirely after the causal limit contributes nothing.
+    Problem p = RandomProblem(2, 64, 8, 10);
+    SplitPartial after = FlashAttentionPartial(p.q, p.k, p.v, 32, 64,
+                                               /*pos_offset=*/8, true,
+                                               0.3f, 8);
+    for (float lse : after.lse) {
+        EXPECT_TRUE(std::isinf(lse) && lse < 0);
+    }
+}
+
+/**
+ * Property sweep: tiled and split-KV agree with naive across shapes,
+ * tile sizes, split counts and offsets.
+ */
+class RefEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(RefEquivalenceTest, AllAlgorithmsAgree)
+{
+    auto [m, n, tile_kv, splits] = GetParam();
+    Problem p = RandomProblem(static_cast<size_t>(m),
+                              static_cast<size_t>(n), 16,
+                              static_cast<uint64_t>(m * 1000 + n));
+    int pos_offset = n - m;  // chunk occupies the sequence tail
+    float scale = 0.25f;
+
+    Matrix naive = NaiveAttention(p.q, p.k, p.v, pos_offset, true, scale);
+    Matrix flash = FlashAttentionTiled(p.q, p.k, p.v, pos_offset, true,
+                                       scale, 8, tile_kv);
+    EXPECT_LT(naive.MaxAbsDiff(flash), kTol);
+
+    std::vector<SplitPartial> partials;
+    for (int s = 0; s < splits; ++s) {
+        int begin = n * s / splits;
+        int end = n * (s + 1) / splits;
+        partials.push_back(FlashAttentionPartial(
+            p.q, p.k, p.v, begin, end, pos_offset, true, scale, tile_kv));
+    }
+    Matrix merged = MergeSplitPartials(partials);
+    EXPECT_LT(naive.MaxAbsDiff(merged), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RefEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 5, 16),       // queries
+                       ::testing::Values(16, 33, 128),    // keys
+                       ::testing::Values(1, 7, 32),       // tile_kv
+                       ::testing::Values(1, 2, 5)));      // splits
+
+}  // namespace
+}  // namespace pod::attnref

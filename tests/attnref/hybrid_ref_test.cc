@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests of the paged KV cache and the multi-head hybrid-batch numeric
+ * driver: GQA mapping, mode equivalence, and the chunked-prefill
+ * consistency invariant (processing a prompt in chunks must equal
+ * processing it whole).
+ */
+#include "attnref/hybrid_ref.h"
+
+#include <gtest/gtest.h>
+
+#include "attnref/attention_ref.h"
+#include "common/rng.h"
+
+namespace pod::attnref {
+namespace {
+
+constexpr double kTol = 2e-5;
+
+kernels::AttnShape
+SmallShape()
+{
+    kernels::AttnShape shape;
+    shape.num_q_heads = 4;
+    shape.num_kv_heads = 2;
+    shape.head_dim = 8;
+    return shape;
+}
+
+/** Append `tokens` random tokens to a cache sequence. */
+void
+AppendRandomTokens(PagedKvCache& cache, int seq, int tokens, Rng& rng)
+{
+    size_t width = static_cast<size_t>(cache.NumKvHeads()) *
+                   static_cast<size_t>(cache.HeadDim());
+    std::vector<float> k(width);
+    std::vector<float> v(width);
+    for (int t = 0; t < tokens; ++t) {
+        for (size_t i = 0; i < width; ++i) {
+            k[i] = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+            v[i] = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+        }
+        cache.AppendToken(seq, k, v);
+    }
+}
+
+Matrix
+RandomQueries(int rows, const kernels::AttnShape& shape, Rng& rng)
+{
+    Matrix q(static_cast<size_t>(rows),
+             static_cast<size_t>(shape.num_q_heads) *
+                 static_cast<size_t>(shape.head_dim));
+    q.FillRandom(rng);
+    return q;
+}
+
+TEST(PagedKv, BlockAllocation)
+{
+    PagedKvCache cache(4, 2, 8);
+    int seq = cache.AddSequence();
+    EXPECT_EQ(cache.SeqLen(seq), 0);
+    Rng rng(1);
+    AppendRandomTokens(cache, seq, 4, rng);
+    EXPECT_EQ(cache.SeqLen(seq), 4);
+    EXPECT_EQ(cache.SeqBlocks(seq), 1);
+    AppendRandomTokens(cache, seq, 1, rng);
+    EXPECT_EQ(cache.SeqBlocks(seq), 2);
+    EXPECT_EQ(cache.TotalBlocks(), 2);
+}
+
+TEST(PagedKv, GatherRoundTrip)
+{
+    PagedKvCache cache(3, 2, 4);
+    int seq = cache.AddSequence();
+    // Append tokens with recognizable values.
+    for (int t = 0; t < 7; ++t) {
+        std::vector<float> k(8);
+        std::vector<float> v(8);
+        for (int h = 0; h < 2; ++h) {
+            for (int c = 0; c < 4; ++c) {
+                k[static_cast<size_t>(h * 4 + c)] =
+                    static_cast<float>(100 * h + 10 * t + c);
+                v[static_cast<size_t>(h * 4 + c)] =
+                    -static_cast<float>(100 * h + 10 * t + c);
+            }
+        }
+        cache.AppendToken(seq, k, v);
+    }
+    Matrix k1 = cache.GatherK(seq, 1);
+    ASSERT_EQ(k1.Rows(), 7u);
+    ASSERT_EQ(k1.Cols(), 4u);
+    EXPECT_FLOAT_EQ(k1.At(5, 2), 152.0f);
+    Matrix v0 = cache.GatherV(seq, 0);
+    EXPECT_FLOAT_EQ(v0.At(6, 3), -63.0f);
+}
+
+TEST(PagedKv, IndependentSequences)
+{
+    PagedKvCache cache(4, 1, 4);
+    int a = cache.AddSequence();
+    int b = cache.AddSequence();
+    Rng rng(2);
+    AppendRandomTokens(cache, a, 5, rng);
+    AppendRandomTokens(cache, b, 9, rng);
+    EXPECT_EQ(cache.SeqLen(a), 5);
+    EXPECT_EQ(cache.SeqLen(b), 9);
+    EXPECT_EQ(cache.SeqBlocks(a), 2);
+    EXPECT_EQ(cache.SeqBlocks(b), 3);
+}
+
+TEST(HybridRef, ModesAgree)
+{
+    kernels::AttnShape shape = SmallShape();
+    PagedKvCache cache(4, shape.num_kv_heads, shape.head_dim);
+    Rng rng(3);
+
+    int prefill_seq = cache.AddSequence();
+    AppendRandomTokens(cache, prefill_seq, 24, rng);  // 16 ctx + 8 chunk
+
+    std::vector<int> decode_seqs;
+    for (int i = 0; i < 3; ++i) {
+        int seq = cache.AddSequence();
+        AppendRandomTokens(cache, seq, 10 + 7 * i, rng);
+        decode_seqs.push_back(seq);
+    }
+
+    Matrix prefill_q = RandomQueries(8, shape, rng);
+    Matrix decode_q = RandomQueries(3, shape, rng);
+
+    HybridRefResult naive = ComputeHybridAttention(
+        shape, cache, prefill_q, prefill_seq, decode_q, decode_seqs,
+        RefMode::kNaive);
+    HybridRefResult flash = ComputeHybridAttention(
+        shape, cache, prefill_q, prefill_seq, decode_q, decode_seqs,
+        RefMode::kFlash, /*tile_kv=*/5);
+    HybridRefResult split = ComputeHybridAttention(
+        shape, cache, prefill_q, prefill_seq, decode_q, decode_seqs,
+        RefMode::kFlashSplitKv, /*tile_kv=*/8, /*num_splits=*/3);
+
+    EXPECT_LT(naive.prefill_out.MaxAbsDiff(flash.prefill_out), kTol);
+    EXPECT_LT(naive.decode_out.MaxAbsDiff(flash.decode_out), kTol);
+    EXPECT_LT(naive.prefill_out.MaxAbsDiff(split.prefill_out), kTol);
+    EXPECT_LT(naive.decode_out.MaxAbsDiff(split.decode_out), kTol);
+}
+
+TEST(HybridRef, GqaMapping)
+{
+    // With 2 kv heads and 4 q heads, q heads {0,1} must read kv head
+    // 0: make kv head 1's values enormous; heads 0,1 outputs must
+    // stay small.
+    kernels::AttnShape shape = SmallShape();
+    PagedKvCache cache(4, 2, shape.head_dim);
+    Rng rng(4);
+    int seq = cache.AddSequence();
+    size_t width = 2u * static_cast<size_t>(shape.head_dim);
+    for (int t = 0; t < 6; ++t) {
+        std::vector<float> k(width);
+        std::vector<float> v(width);
+        for (size_t i = 0; i < width; ++i) {
+            k[i] = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+            bool head1 = i >= static_cast<size_t>(shape.head_dim);
+            v[i] = head1 ? 1000.0f
+                         : static_cast<float>(rng.UniformReal(-1.0, 1.0));
+        }
+        cache.AppendToken(seq, k, v);
+    }
+    Matrix decode_q = RandomQueries(1, shape, rng);
+    HybridRefResult out = ComputeHybridAttention(
+        shape, cache, Matrix(), 0, decode_q, {seq}, RefMode::kNaive);
+    // q heads 0/1 -> kv head 0 (small); q heads 2/3 -> kv head 1.
+    for (int c = 0; c < 2 * shape.head_dim; ++c) {
+        EXPECT_LT(std::abs(out.decode_out.At(0, static_cast<size_t>(c))),
+                  10.0f);
+    }
+    for (int c = 2 * shape.head_dim; c < 4 * shape.head_dim; ++c) {
+        EXPECT_NEAR(out.decode_out.At(0, static_cast<size_t>(c)), 1000.0f,
+                    1.0f);
+    }
+}
+
+TEST(HybridRef, ChunkedPrefillEqualsWholePrefill)
+{
+    // Processing a 24-token prompt as chunks of 8 must give each
+    // chunk the same outputs as computing the whole prompt at once --
+    // the correctness foundation of chunked prefills (paper S2.1).
+    kernels::AttnShape shape = SmallShape();
+    PagedKvCache cache(4, shape.num_kv_heads, shape.head_dim);
+    Rng rng(5);
+    int seq = cache.AddSequence();
+    AppendRandomTokens(cache, seq, 24, rng);
+    Matrix all_q = RandomQueries(24, shape, rng);
+
+    // Whole-prompt prefill (kv already contains all 24 tokens).
+    HybridRefResult whole = ComputeHybridAttention(
+        shape, cache, all_q, seq, Matrix(), {}, RefMode::kNaive);
+
+    // Chunked: recompute per chunk against a cache truncated to the
+    // chunk's reach. Build fresh caches containing only the visible
+    // prefix.
+    for (int chunk_idx = 0; chunk_idx < 3; ++chunk_idx) {
+        int begin = chunk_idx * 8;
+        int end = begin + 8;
+        PagedKvCache prefix(4, shape.num_kv_heads, shape.head_dim);
+        int pseq = prefix.AddSequence();
+        // Copy the first `end` tokens from the full cache.
+        for (int t = 0; t < end; ++t) {
+            std::vector<float> k;
+            std::vector<float> v;
+            for (int h = 0; h < shape.num_kv_heads; ++h) {
+                Matrix kh = cache.GatherK(seq, h);
+                Matrix vh = cache.GatherV(seq, h);
+                for (int c = 0; c < shape.head_dim; ++c) {
+                    k.push_back(kh.At(static_cast<size_t>(t),
+                                      static_cast<size_t>(c)));
+                    v.push_back(vh.At(static_cast<size_t>(t),
+                                      static_cast<size_t>(c)));
+                }
+            }
+            prefix.AppendToken(pseq, k, v);
+        }
+        Matrix chunk_q = all_q.Slice(static_cast<size_t>(begin),
+                                     static_cast<size_t>(end));
+        HybridRefResult chunked = ComputeHybridAttention(
+            shape, prefix, chunk_q, pseq, Matrix(), {}, RefMode::kFlash,
+            /*tile_kv=*/4);
+        Matrix expected = whole.prefill_out.Slice(
+            static_cast<size_t>(begin), static_cast<size_t>(end));
+        EXPECT_LT(expected.MaxAbsDiff(chunked.prefill_out), kTol)
+            << "chunk " << chunk_idx;
+    }
+}
+
+TEST(HybridRef, DecodeOnlyAndPrefillOnly)
+{
+    kernels::AttnShape shape = SmallShape();
+    PagedKvCache cache(4, shape.num_kv_heads, shape.head_dim);
+    Rng rng(6);
+    int seq = cache.AddSequence();
+    AppendRandomTokens(cache, seq, 12, rng);
+
+    Matrix decode_q = RandomQueries(1, shape, rng);
+    HybridRefResult decode_only = ComputeHybridAttention(
+        shape, cache, Matrix(), 0, decode_q, {seq}, RefMode::kFlash);
+    EXPECT_EQ(decode_only.prefill_out.Rows(), 0u);
+    EXPECT_EQ(decode_only.decode_out.Rows(), 1u);
+
+    Matrix prefill_q = RandomQueries(12, shape, rng);
+    HybridRefResult prefill_only = ComputeHybridAttention(
+        shape, cache, prefill_q, seq, Matrix(), {}, RefMode::kFlash);
+    EXPECT_EQ(prefill_only.prefill_out.Rows(), 12u);
+    EXPECT_EQ(prefill_only.decode_out.Rows(), 0u);
+}
+
+TEST(MatrixTest, SliceAndDiff)
+{
+    Matrix a(4, 2);
+    for (size_t r = 0; r < 4; ++r) {
+        a.At(r, 0) = static_cast<float>(r);
+        a.At(r, 1) = static_cast<float>(2 * r);
+    }
+    Matrix s = a.Slice(1, 3);
+    ASSERT_EQ(s.Rows(), 2u);
+    EXPECT_FLOAT_EQ(s.At(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(s.At(1, 1), 4.0f);
+
+    Matrix b = a;
+    b.At(2, 1) += 0.5f;
+    EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 0.5);
+}
+
+}  // namespace
+}  // namespace pod::attnref

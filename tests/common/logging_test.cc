@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the logging channels.
+ */
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel original = GetLogLevel();
+    SetLogLevel(LogLevel::kDebug);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+    SetLogLevel(LogLevel::kSilent);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kSilent);
+    SetLogLevel(original);
+}
+
+TEST(Logging, WarnInformDebugDoNotCrash)
+{
+    LogLevel original = GetLogLevel();
+    SetLogLevel(LogLevel::kDebug);
+    Warn("test warning %d", 1);
+    Inform("test info %s", "x");
+    Debug("test debug %.2f", 3.14);
+    SetLogLevel(original);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(Panic("intentional test panic"), "PANIC");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(Fatal("intentional test fatal"),
+                ::testing::ExitedWithCode(1), "FATAL");
+}
+
+TEST(LoggingDeathTest, AssertMacroFires)
+{
+    EXPECT_DEATH(POD_ASSERT(1 == 2), "assertion failed");
+}
+
+TEST(LoggingDeathTest, AssertMsgMacroFires)
+{
+    EXPECT_DEATH(POD_ASSERT_MSG(false, "value was %d", 3),
+                 "value was 3");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    POD_ASSERT(1 + 1 == 2);
+    POD_ASSERT_MSG(true, "unused %d", 0);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for integer/floating math helpers.
+ */
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(CeilDiv(0, 4), 0);
+    EXPECT_EQ(CeilDiv(1, 4), 1);
+    EXPECT_EQ(CeilDiv(4, 4), 1);
+    EXPECT_EQ(CeilDiv(5, 4), 2);
+    EXPECT_EQ(CeilDiv(16384, 128), 128);
+    EXPECT_EQ(CeilDiv<int64_t>(1'000'000'007, 2), 500'000'004);
+}
+
+TEST(MathUtil, RoundUp)
+{
+    EXPECT_EQ(RoundUp(0, 16), 0);
+    EXPECT_EQ(RoundUp(1, 16), 16);
+    EXPECT_EQ(RoundUp(16, 16), 16);
+    EXPECT_EQ(RoundUp(17, 16), 32);
+}
+
+TEST(MathUtil, RoundDown)
+{
+    EXPECT_EQ(RoundDown(0, 16), 0);
+    EXPECT_EQ(RoundDown(15, 16), 0);
+    EXPECT_EQ(RoundDown(16, 16), 16);
+    EXPECT_EQ(RoundDown(31, 16), 16);
+}
+
+TEST(MathUtil, Clamp)
+{
+    EXPECT_EQ(Clamp(5, 0, 10), 5);
+    EXPECT_EQ(Clamp(-5, 0, 10), 0);
+    EXPECT_EQ(Clamp(15, 0, 10), 10);
+    EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtil, ApproxEqual)
+{
+    EXPECT_TRUE(ApproxEqual(1.0, 1.0));
+    EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+    EXPECT_TRUE(ApproxEqual(1e12, 1e12 + 1.0));
+    EXPECT_TRUE(ApproxEqual(0.0, 0.0));
+    EXPECT_FALSE(ApproxEqual(0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG wrapper.
+ */
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+TEST(Rng, DeterministicWithSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.UniformInt(0, 1'000'000), b.UniformInt(0, 1'000'000));
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.UniformInt(0, 1'000'000) == b.UniformInt(0, 1'000'000)) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.UniformInt(3, 9);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformRealBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.UniformReal(0.5, 1.5);
+        EXPECT_GE(v, 0.5);
+        EXPECT_LT(v, 1.5);
+    }
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.Exponential(2.0);
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, LogNormalMoments)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.LogNormalByMoments(10.0, 3.0);
+    }
+    EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(17);
+    std::vector<double> weights = {0.0, 1.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        counts[rng.Weighted(weights)] += 1;
+    }
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(19);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.25)) ++heads;
+    }
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for SampleStats and GeoMean.
+ */
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+TEST(SampleStats, EmptyIsZero)
+{
+    SampleStats s;
+    EXPECT_EQ(s.Count(), 0u);
+    EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(s.FractionAbove(1.0), 0.0);
+}
+
+TEST(SampleStats, BasicMoments)
+{
+    SampleStats s;
+    s.AddAll({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.Count(), 4u);
+    EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.Sum(), 10.0);
+    EXPECT_NEAR(s.Stddev(), 1.1180339887, 1e-9);
+}
+
+TEST(SampleStats, PercentileInterpolation)
+{
+    SampleStats s;
+    s.AddAll({10.0, 20.0, 30.0, 40.0, 50.0});
+    EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(50), 30.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(25), 20.0);
+    // Between order statistics: 10% of the way from 10 to 20 at p=2.5.
+    EXPECT_NEAR(s.Percentile(2.5), 11.0, 1e-9);
+}
+
+TEST(SampleStats, PercentileUnsortedInput)
+{
+    SampleStats s;
+    s.AddAll({50.0, 10.0, 40.0, 20.0, 30.0});
+    EXPECT_DOUBLE_EQ(s.Median(), 30.0);
+    // Adding after a sort must re-sort.
+    s.Add(5.0);
+    EXPECT_DOUBLE_EQ(s.Min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(0), 5.0);
+}
+
+TEST(SampleStats, FractionAbove)
+{
+    SampleStats s;
+    s.AddAll({0.1, 0.2, 0.3, 0.4});
+    EXPECT_DOUBLE_EQ(s.FractionAbove(0.25), 0.5);
+    EXPECT_DOUBLE_EQ(s.FractionAbove(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.FractionAbove(0.4), 0.0);
+}
+
+TEST(SampleStats, ClearResets)
+{
+    SampleStats s;
+    s.Add(1.0);
+    s.Clear();
+    EXPECT_EQ(s.Count(), 0u);
+    EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(SampleStats, SingleSample)
+{
+    SampleStats s;
+    s.Add(7.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(50), 7.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+    EXPECT_DOUBLE_EQ(s.Stddev(), 0.0);
+}
+
+TEST(SampleStats, SummaryMentionsCount)
+{
+    SampleStats s;
+    s.AddAll({1.0, 2.0});
+    EXPECT_NE(s.Summary().find("n=2"), std::string::npos);
+}
+
+TEST(GeoMean, Basics)
+{
+    EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(GeoMean({4.0}), 4.0);
+    EXPECT_NEAR(GeoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(GeoMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for GpuSpec presets and validation.
+ */
+#include "gpusim/gpu_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace pod::gpusim {
+namespace {
+
+TEST(GpuSpec, A100Preset)
+{
+    GpuSpec spec = GpuSpec::A100Sxm80GB();
+    spec.Validate();
+    EXPECT_EQ(spec.num_sms, 108);
+    // Effective tensor throughput must stay below peak but above half.
+    EXPECT_LT(spec.TotalTensorFlops(), 312e12);
+    EXPECT_GT(spec.TotalTensorFlops(), 150e12);
+    EXPECT_LT(spec.hbm_bandwidth, 2039e9);
+    EXPECT_GT(spec.hbm_capacity, 70.0 * 1024 * 1024 * 1024);
+}
+
+TEST(GpuSpec, TestGpuPreset)
+{
+    GpuSpec spec = GpuSpec::TestGpu8Sm();
+    spec.Validate();
+    EXPECT_EQ(spec.num_sms, 8);
+    EXPECT_DOUBLE_EQ(spec.TotalTensorFlops(), 8e12);
+}
+
+TEST(GpuSpec, BandwidthHierarchySane)
+{
+    GpuSpec spec = GpuSpec::A100Sxm80GB();
+    // warp cap < SM cap < total bandwidth.
+    EXPECT_LT(spec.warp_bandwidth_cap, spec.sm_bandwidth_cap);
+    EXPECT_LT(spec.sm_bandwidth_cap, spec.hbm_bandwidth);
+    // All SMs at their cap must be able to oversubscribe HBM, or
+    // decode kernels could never saturate bandwidth.
+    EXPECT_GT(spec.sm_bandwidth_cap * spec.num_sms, spec.hbm_bandwidth);
+}
+
+TEST(GpuSpecDeathTest, ValidateRejectsNonsense)
+{
+    GpuSpec spec = GpuSpec::TestGpu8Sm();
+    spec.num_sms = 0;
+    EXPECT_EXIT(spec.Validate(), ::testing::ExitedWithCode(1), "FATAL");
+}
+
+}  // namespace
+}  // namespace pod::gpusim

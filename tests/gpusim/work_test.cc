@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for work descriptions.
+ */
+#include "gpusim/work.h"
+
+#include <gtest/gtest.h>
+
+namespace pod::gpusim {
+namespace {
+
+TEST(Work, PhaseEmpty)
+{
+    EXPECT_TRUE((Phase{0.0, 0.0, 0.0}).Empty());
+    EXPECT_FALSE((Phase{1.0, 0.0, 0.0}).Empty());
+    EXPECT_FALSE((Phase{0.0, 1.0, 0.0}).Empty());
+    EXPECT_FALSE((Phase{0.0, 0.0, 1.0}).Empty());
+}
+
+TEST(Work, UnitTotals)
+{
+    WorkUnit unit;
+    unit.phases.push_back(Phase{1.0, 2.0, 3.0});
+    unit.phases.push_back(Phase{10.0, 20.0, 30.0});
+    EXPECT_DOUBLE_EQ(unit.TotalTensorFlops(), 11.0);
+    EXPECT_DOUBLE_EQ(unit.TotalCudaFlops(), 22.0);
+    EXPECT_DOUBLE_EQ(unit.TotalMemBytes(), 33.0);
+}
+
+TEST(Work, CtaTotalsAcrossUnits)
+{
+    WorkUnit a;
+    a.phases.push_back(Phase{1.0, 0.0, 5.0});
+    WorkUnit b;
+    b.phases.push_back(Phase{2.0, 0.0, 7.0});
+    CtaWork work;
+    work.units = {a, b};
+    EXPECT_DOUBLE_EQ(work.TotalTensorFlops(), 3.0);
+    EXPECT_DOUBLE_EQ(work.TotalMemBytes(), 12.0);
+}
+
+TEST(Work, FromWorksIndexesCorrectly)
+{
+    std::vector<CtaWork> works(3);
+    for (int i = 0; i < 3; ++i) {
+        WorkUnit u;
+        u.phases.push_back(Phase{static_cast<double>(i + 1), 0.0, 0.0});
+        works[static_cast<size_t>(i)].units.push_back(u);
+    }
+    KernelDesc kernel = KernelDesc::FromWorks(
+        "k", CtaResources{128, 0.0}, works);
+    EXPECT_EQ(kernel.cta_count, 3);
+    EXPECT_DOUBLE_EQ(kernel.assign(0, 99).TotalTensorFlops(), 1.0);
+    EXPECT_DOUBLE_EQ(kernel.assign(2, 0).TotalTensorFlops(), 3.0);
+}
+
+TEST(Work, OpClassNames)
+{
+    EXPECT_STREQ(OpClassName(OpClass::kPrefill), "prefill");
+    EXPECT_STREQ(OpClassName(OpClass::kDecode), "decode");
+    EXPECT_STREQ(OpClassName(OpClass::kCompute), "compute");
+    EXPECT_STREQ(OpClassName(OpClass::kMemory), "memory");
+    EXPECT_STREQ(OpClassName(OpClass::kOther), "other");
+}
+
+}  // namespace
+}  // namespace pod::gpusim

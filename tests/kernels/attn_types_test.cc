@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for hybrid-batch problem descriptions.
+ */
+#include "kernels/attn_types.h"
+
+#include <gtest/gtest.h>
+
+namespace pod::kernels {
+namespace {
+
+TEST(AttnShape, GroupSize)
+{
+    AttnShape shape;
+    shape.num_q_heads = 32;
+    shape.num_kv_heads = 4;
+    EXPECT_EQ(shape.GroupSize(), 8);
+    shape.num_kv_heads = 32;
+    EXPECT_EQ(shape.GroupSize(), 1);
+}
+
+TEST(AttnShapeDeathTest, RejectsNonDividingHeads)
+{
+    AttnShape shape;
+    shape.num_q_heads = 30;
+    shape.num_kv_heads = 4;
+    EXPECT_EXIT(shape.Validate(), ::testing::ExitedWithCode(1), "FATAL");
+}
+
+TEST(PrefillItem, QueryOffset)
+{
+    PrefillItem p{512, 4096};
+    EXPECT_EQ(p.QueryOffset(), 3584);
+    PrefillItem full{4096, 4096};
+    EXPECT_EQ(full.QueryOffset(), 0);
+}
+
+TEST(PrefillItemDeathTest, KvMustIncludeChunk)
+{
+    PrefillItem p{512, 256};
+    EXPECT_EXIT(p.Validate(), ::testing::ExitedWithCode(1), "FATAL");
+}
+
+TEST(DecodeItem, UniformAndTotals)
+{
+    DecodeItem d = DecodeItem::Uniform(5, 1000);
+    EXPECT_EQ(d.BatchSize(), 5);
+    EXPECT_EQ(d.TotalContext(), 5000);
+}
+
+TEST(HybridBatch, MakeAndDescribe)
+{
+    AttnShape shape;
+    shape.num_q_heads = 16;
+    shape.num_kv_heads = 4;
+    HybridBatch batch = HybridBatch::Make(shape, 512, 4096, 10, 8192);
+    batch.Validate();
+    EXPECT_TRUE(batch.HasPrefill());
+    EXPECT_TRUE(batch.HasDecode());
+    std::string desc = batch.Describe();
+    EXPECT_NE(desc.find("chunk=512"), std::string::npos);
+    EXPECT_NE(desc.find("bs=10"), std::string::npos);
+}
+
+TEST(HybridBatch, DegenerateForms)
+{
+    AttnShape shape;
+    shape.num_q_heads = 8;
+    shape.num_kv_heads = 8;
+    HybridBatch prefill_only = HybridBatch::Make(shape, 512, 512, 0, 0);
+    prefill_only.Validate();
+    EXPECT_FALSE(prefill_only.HasDecode());
+
+    HybridBatch decode_only = HybridBatch::Make(shape, 0, 0, 4, 1024);
+    decode_only.Validate();
+    EXPECT_FALSE(decode_only.HasPrefill());
+}
+
+TEST(HybridBatchDeathTest, RejectsEmpty)
+{
+    AttnShape shape;
+    HybridBatch batch;
+    batch.shape = shape;
+    EXPECT_EXIT(batch.Validate(), ::testing::ExitedWithCode(1), "FATAL");
+}
+
+}  // namespace
+}  // namespace pod::kernels

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the S3.3 fusion case-study micro-benchmark (Fig. 7).
+ */
+#include "kernels/micro.h"
+
+#include <gtest/gtest.h>
+
+namespace pod::kernels {
+namespace {
+
+gpusim::SimOptions
+NoOverhead()
+{
+    gpusim::SimOptions opts;
+    opts.kernel_launch_overhead = 0.0;
+    return opts;
+}
+
+gpusim::GpuSpec
+Gpu()
+{
+    return gpusim::GpuSpec::A100Sxm80GB();
+}
+
+TEST(Micro, CalibrationBalancedAt100Iters)
+{
+    MicroParams params;
+    params.compute_iters = 100;
+    params.memory_iters = 100;
+    double serial =
+        RunMicroStrategy(FusionStrategy::kSerial, params, Gpu(),
+                         NoOverhead());
+    double oracle =
+        RunMicroStrategy(FusionStrategy::kOracle, params, Gpu(),
+                         NoOverhead());
+    // Both kernels calibrated to ~1 ms: serial ~2 ms, oracle ~1 ms.
+    EXPECT_NEAR(serial, 2e-3, 0.2e-3);
+    EXPECT_NEAR(oracle, 1e-3, 0.1e-3);
+}
+
+TEST(Micro, SerialIsSumOracleIsMax)
+{
+    MicroParams params;
+    params.compute_iters = 150;
+    params.memory_iters = 100;
+    double serial = RunMicroStrategy(FusionStrategy::kSerial, params,
+                                     Gpu(), NoOverhead());
+    double oracle = RunMicroStrategy(FusionStrategy::kOracle, params,
+                                     Gpu(), NoOverhead());
+    EXPECT_NEAR(serial, 2.5e-3, 0.25e-3);
+    EXPECT_NEAR(oracle, 1.5e-3, 0.15e-3);
+}
+
+TEST(Micro, SmAwareNearOracle)
+{
+    MicroParams params;
+    for (int iters : {60, 100, 160}) {
+        params.compute_iters = iters;
+        double sm_aware = RunMicroStrategy(FusionStrategy::kSmAwareCta,
+                                           params, Gpu(), NoOverhead());
+        double oracle = RunMicroStrategy(FusionStrategy::kOracle, params,
+                                         Gpu(), NoOverhead());
+        double serial = RunMicroStrategy(FusionStrategy::kSerial, params,
+                                         Gpu(), NoOverhead());
+        EXPECT_GE(sm_aware, oracle * 0.99);
+        // Within 25% of the oracle, far better than serial.
+        EXPECT_LE(sm_aware, oracle * 1.25) << "iters=" << iters;
+        EXPECT_LT(sm_aware, serial * 0.75) << "iters=" << iters;
+    }
+}
+
+TEST(Micro, StrategyOrderingMatchesPaper)
+{
+    // At the balanced point: serial slowest; streams/CTA marginal;
+    // intra-thread in between; SM-aware close to optimal (Fig. 7).
+    MicroParams params;
+    params.compute_iters = 100;
+    params.memory_iters = 100;
+    auto run = [&](FusionStrategy s) {
+        return RunMicroStrategy(s, params, Gpu(), NoOverhead());
+    };
+    double serial = run(FusionStrategy::kSerial);
+    double streams = run(FusionStrategy::kStreams);
+    double cta = run(FusionStrategy::kCtaParallel);
+    double intra = run(FusionStrategy::kIntraThread);
+    double sm_aware = run(FusionStrategy::kSmAwareCta);
+    double oracle = run(FusionStrategy::kOracle);
+
+    EXPECT_LE(oracle, sm_aware);
+    EXPECT_LT(sm_aware, intra);
+    EXPECT_LT(intra, serial);
+    // Streams and naive CTA-parallel beat serial by much less than
+    // SM-aware scheduling does (no co-location guarantee).
+    EXPECT_LE(streams, serial * 1.02);
+    EXPECT_GT(streams, serial * 0.85);
+    EXPECT_LE(cta, serial * 1.02);
+    EXPECT_GT(cta, sm_aware * 1.15);
+}
+
+TEST(Micro, MonotonicInComputeIters)
+{
+    MicroParams params;
+    double prev = 0.0;
+    for (int iters : {40, 80, 120, 160, 200}) {
+        params.compute_iters = iters;
+        double t = RunMicroStrategy(FusionStrategy::kSmAwareCta, params,
+                                    Gpu(), NoOverhead());
+        EXPECT_GE(t, prev * 0.999);
+        prev = t;
+    }
+}
+
+TEST(Micro, StrategyNames)
+{
+    EXPECT_STREQ(FusionStrategyName(FusionStrategy::kSerial), "Serial");
+    EXPECT_STREQ(FusionStrategyName(FusionStrategy::kOracle), "Optimal");
+    EXPECT_STREQ(FusionStrategyName(FusionStrategy::kSmAwareCta),
+                 "SM-aware CTA");
+}
+
+TEST(MicroDeathTest, RejectsNonPositiveIters)
+{
+    MicroParams params;
+    params.compute_iters = 0;
+    EXPECT_EXIT(RunMicroStrategy(FusionStrategy::kSerial, params, Gpu()),
+                ::testing::ExitedWithCode(1), "FATAL");
+}
+
+}  // namespace
+}  // namespace pod::kernels

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for SM-aware CTA scheduling (paper Fig. 9) and the naive
+ * CTA-parallel baseline.
+ */
+#include "kernels/sm_aware.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gpusim/engine.h"
+#include "gpusim/gpu_spec.h"
+
+namespace pod::kernels {
+namespace {
+
+using gpusim::CtaResources;
+using gpusim::CtaWork;
+using gpusim::FluidEngine;
+using gpusim::GpuSpec;
+using gpusim::KernelDesc;
+using gpusim::OpClass;
+using gpusim::Phase;
+using gpusim::SimOptions;
+using gpusim::WorkUnit;
+
+CtaWork
+TaggedCta(OpClass op, double work = 1e8)
+{
+    WorkUnit unit;
+    unit.op = op;
+    unit.warps = 4;
+    unit.phases.push_back(Phase{0.0, work, 0.0});
+    CtaWork cta;
+    cta.units.push_back(unit);
+    return cta;
+}
+
+std::vector<CtaWork>
+Tagged(OpClass op, int n)
+{
+    return std::vector<CtaWork>(static_cast<size_t>(n), TaggedCta(op));
+}
+
+SimOptions
+NoOverhead()
+{
+    SimOptions opts;
+    opts.kernel_launch_overhead = 0.0;
+    return opts;
+}
+
+TEST(SmAwarePolicy, ProportionalReducesToSmallTerms)
+{
+    // The paper's example: 50 prefill + 100 decode -> 1:2.
+    SmAwarePolicy p = SmAwarePolicy::Proportional(50, 100, 4);
+    EXPECT_EQ(p.ratio_a, 1);
+    EXPECT_EQ(p.ratio_b, 2);
+}
+
+TEST(SmAwarePolicy, ProportionalBalanced)
+{
+    SmAwarePolicy p = SmAwarePolicy::Proportional(256, 220, 4);
+    EXPECT_EQ(p.ratio_a, 1);
+    EXPECT_EQ(p.ratio_b, 1);
+}
+
+TEST(SmAwarePolicy, ProportionalSkewed)
+{
+    SmAwarePolicy p = SmAwarePolicy::Proportional(300, 100, 4);
+    EXPECT_EQ(p.ratio_a, 3);
+    EXPECT_EQ(p.ratio_b, 1);
+}
+
+TEST(SmAwarePolicy, DegenerateCounts)
+{
+    SmAwarePolicy a = SmAwarePolicy::Proportional(0, 10, 4);
+    EXPECT_GE(a.ratio_b, 1);
+    SmAwarePolicy b = SmAwarePolicy::Proportional(10, 0, 4);
+    EXPECT_GE(b.ratio_a, 1);
+}
+
+TEST(SmAware, AllWorkDispatchedExactlyOnce)
+{
+    GpuSpec spec = GpuSpec::TestGpu8Sm();
+    KernelDesc kernel = MakeSmAwareKernel(
+        "fused", CtaResources{128, 0.0}, Tagged(OpClass::kPrefill, 20),
+        Tagged(OpClass::kDecode, 12), SmAwarePolicy::FiftyFifty(),
+        spec.num_sms);
+    EXPECT_EQ(kernel.cta_count, 32);
+    FluidEngine engine(spec, NoOverhead());
+    gpusim::SimResult result = engine.RunKernel(kernel);
+    EXPECT_EQ(result.Op(OpClass::kPrefill).unit_count, 20);
+    EXPECT_EQ(result.Op(OpClass::kDecode).unit_count, 12);
+}
+
+TEST(SmAware, FiftyFiftyCoLocatesOnEverySm)
+{
+    // 8 SMs, 2 CTA slots each (1024-thread CTAs on a 2048-thread SM
+    // would be 2... use 512-thread CTAs and cap at 2 per SM).
+    GpuSpec spec = GpuSpec::TestGpu8Sm();
+    // Track which ops land per SM via the assign callback by op
+    // accounting: with 8 prefill + 8 decode CTAs and 2 slots per SM,
+    // 50:50 must put exactly one of each on every SM.
+    auto state = std::make_shared<std::map<int, std::pair<int, int>>>();
+
+    KernelDesc inner = MakeSmAwareKernel(
+        "fused", CtaResources{512, 0.0}, Tagged(OpClass::kPrefill, 8),
+        Tagged(OpClass::kDecode, 8), SmAwarePolicy::FiftyFifty(),
+        spec.num_sms, /*max_ctas_per_sm=*/2);
+    // Wrap the assign to record (sm -> op counts).
+    auto base_assign = inner.assign;
+    inner.assign = [state, base_assign](int idx, int sm) {
+        CtaWork work = base_assign(idx, sm);
+        auto& entry = (*state)[sm];
+        if (work.units[0].op == OpClass::kPrefill) entry.first++;
+        else entry.second++;
+        return work;
+    };
+
+    FluidEngine engine(spec, NoOverhead());
+    engine.RunKernel(inner);
+    ASSERT_EQ(state->size(), 8u);
+    for (const auto& [sm, counts] : *state) {
+        EXPECT_EQ(counts.first, 1) << "SM " << sm;
+        EXPECT_EQ(counts.second, 1) << "SM " << sm;
+    }
+}
+
+TEST(SmAware, OverflowSwitchesOp)
+{
+    // Far more decode than prefill CTAs at 1:1 tickets: once prefill
+    // runs out, prefill tickets must fall through to decode.
+    GpuSpec spec = GpuSpec::TestGpu8Sm();
+    KernelDesc kernel = MakeSmAwareKernel(
+        "fused", CtaResources{128, 0.0}, Tagged(OpClass::kPrefill, 2),
+        Tagged(OpClass::kDecode, 30), SmAwarePolicy::FiftyFifty(),
+        spec.num_sms);
+    FluidEngine engine(spec, NoOverhead());
+    gpusim::SimResult result = engine.RunKernel(kernel);
+    EXPECT_EQ(result.Op(OpClass::kPrefill).unit_count, 2);
+    EXPECT_EQ(result.Op(OpClass::kDecode).unit_count, 30);
+    EXPECT_EQ(result.total_ctas, 32);
+}
+
+TEST(SmAware, CoLocationBeatsSerialOnMixedWork)
+{
+    // Compute-heavy op A + memory-heavy op B: SM-aware fusion should
+    // clearly beat running them serially.
+    GpuSpec spec = GpuSpec::TestGpu8Sm();
+    auto compute_cta = []() {
+        WorkUnit unit;
+        unit.op = OpClass::kCompute;
+        unit.warps = 16;
+        unit.phases.push_back(Phase{0.0, 0.5e9, 0.0});
+        CtaWork cta;
+        cta.units.push_back(unit);
+        return cta;
+    };
+    auto memory_cta = []() {
+        WorkUnit unit;
+        unit.op = OpClass::kMemory;
+        unit.warps = 16;
+        unit.phases.push_back(Phase{0.0, 0.0, 8e6});
+        CtaWork cta;
+        cta.units.push_back(unit);
+        return cta;
+    };
+    std::vector<CtaWork> comp(16, compute_cta());
+    std::vector<CtaWork> mem(16, memory_cta());
+
+    FluidEngine engine(spec, NoOverhead());
+    KernelDesc fused = MakeSmAwareKernel(
+        "fused", CtaResources{512, 0.0}, comp, mem,
+        SmAwarePolicy::FiftyFifty(), spec.num_sms, 2);
+    double fused_time = engine.RunKernel(fused).total_time;
+
+    KernelDesc ka = gpusim::KernelDesc::FromWorks(
+        "a", CtaResources{512, 0.0}, comp);
+    KernelDesc kb = gpusim::KernelDesc::FromWorks(
+        "b", CtaResources{512, 0.0}, mem);
+    double serial_time =
+        engine.Run({gpusim::KernelLaunch{ka, 0},
+                    gpusim::KernelLaunch{kb, 0}})
+            .total_time;
+
+    EXPECT_LT(fused_time, serial_time * 0.75);
+}
+
+TEST(CtaParallel, StaticInterleaveKeepsAllWork)
+{
+    GpuSpec spec = GpuSpec::TestGpu8Sm();
+    KernelDesc kernel = MakeCtaParallelKernel(
+        "naive", CtaResources{128, 0.0}, Tagged(OpClass::kPrefill, 10),
+        Tagged(OpClass::kDecode, 20));
+    EXPECT_EQ(kernel.cta_count, 30);
+    FluidEngine engine(spec, NoOverhead());
+    gpusim::SimResult result = engine.RunKernel(kernel);
+    EXPECT_EQ(result.Op(OpClass::kPrefill).unit_count, 10);
+    EXPECT_EQ(result.Op(OpClass::kDecode).unit_count, 20);
+}
+
+TEST(CtaParallel, ProportionalInterleaveOrder)
+{
+    // 1:2 mix -> pattern A B B A B B ...
+    KernelDesc kernel = MakeCtaParallelKernel(
+        "naive", CtaResources{128, 0.0}, Tagged(OpClass::kPrefill, 2),
+        Tagged(OpClass::kDecode, 4));
+    std::vector<OpClass> order;
+    for (int i = 0; i < kernel.cta_count; ++i) {
+        order.push_back(kernel.assign(i, 0).units[0].op);
+    }
+    std::vector<OpClass> expected = {
+        OpClass::kPrefill, OpClass::kDecode, OpClass::kDecode,
+        OpClass::kPrefill, OpClass::kDecode, OpClass::kDecode};
+    EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace pod::kernels

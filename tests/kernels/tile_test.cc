@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for tile configurations: shared-memory footprints,
+ * thread counts, and the occupancy identities POD relies on
+ * (paper S4.2.1-S4.2.3).
+ */
+#include "kernels/tile.h"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/gpu_spec.h"
+
+namespace pod::kernels {
+namespace {
+
+TEST(TileConfig, SmemFormula)
+{
+    // (tile_q + 2*tile_kv) * d * 2B.
+    TileConfig tile{128, 64, 8};
+    EXPECT_DOUBLE_EQ(tile.SmemBytes(128), (128.0 + 128.0) * 128.0 * 2.0);
+    EXPECT_DOUBLE_EQ(tile.SmemBytes(64), (128.0 + 128.0) * 64.0 * 2.0);
+}
+
+TEST(TileConfig, Threads)
+{
+    EXPECT_EQ(PrefillTileLarge().Threads(), 256);
+    EXPECT_EQ(PrefillTileSmall().Threads(), 128);
+    EXPECT_EQ(DecodeTileVirtual().Threads(), 32);
+}
+
+TEST(TileConfig, TwoLargePrefillCtasFitPerSm)
+{
+    // The 2-CTAs/SM configuration must actually fit two large-tile
+    // prefill CTAs in an A100 SM's shared memory.
+    gpusim::GpuSpec a100 = gpusim::GpuSpec::A100Sxm80GB();
+    double smem = PrefillTileLarge().SmemBytes(128);
+    EXPECT_LE(2.0 * smem, a100.shared_mem_per_sm);
+    EXPECT_GT(3.0 * smem, a100.shared_mem_per_sm);  // but not three
+}
+
+TEST(TileConfig, FourSmallPrefillCtasFitPerSm)
+{
+    gpusim::GpuSpec a100 = gpusim::GpuSpec::A100Sxm80GB();
+    double smem = PrefillTileSmall().SmemBytes(128);
+    EXPECT_LE(4.0 * smem, a100.shared_mem_per_sm);
+}
+
+TEST(TileConfig, VirtualDecodeCtaSmallerThanPrefill)
+{
+    // Paper S4.2.3: virtual decode CTAs are hand-balanced so that a
+    // physical decode CTA (several virtual ones) matches the prefill
+    // footprint; each virtual CTA alone must be well below it. (The
+    // fused kernel assembly pins the physical decode footprint to the
+    // prefill tile's, see BuildPodKernel.)
+    double prefill = PrefillTileLarge().SmemBytes(128);
+    double virt = DecodeTileVirtual().SmemBytes(128);
+    EXPECT_LT(virt, prefill * 0.6);
+}
+
+TEST(TileConfig, PodDecodeTileIsCutlassMinimum)
+{
+    // QSL 16 is the CUTLASS minimum for A100 tensor ops (S4.2.1).
+    EXPECT_EQ(DecodeTilePod().tile_q, 16);
+    EXPECT_EQ(DecodeTileVirtual().tile_q, 16);
+    // FA's decode tile is in the paper's quoted 64-128 range.
+    EXPECT_GE(DecodeTileFa().tile_q, 64);
+    EXPECT_LE(DecodeTileFa().tile_q, 128);
+}
+
+}  // namespace
+}  // namespace pod::kernels
