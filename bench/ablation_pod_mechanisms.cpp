@@ -1,7 +1,7 @@
 /**
  * @file
  * Ablation of POD-Attention's mechanisms (beyond the paper's
- * figures; DESIGN.md S7): for the Table 1 hybrid configs, measure the
+ * figures; docs/DESIGN.md S7): for the Table 1 hybrid configs, measure the
  * fused kernel with each design choice individually altered --
  * scheduling policy, prefill split policy, virtual decode CTA
  * packing, forced CTAs/SM and the persistent-threads variant --

@@ -20,7 +20,7 @@ namespace pod::bench {
 /**
  * Global scale knob for long-running benches: POD_BENCH_SCALE
  * multiplies request counts / sweep densities (default 1.0 = the
- * scaled-down defaults documented in EXPERIMENTS.md).
+ * scaled-down defaults documented in docs/EXPERIMENTS.md).
  */
 inline double
 ScaleFactor()
@@ -72,7 +72,7 @@ Header(const char* id, const char* description)
 {
     std::printf("==============================================================\n");
     std::printf("%s: %s\n", id, description);
-    std::printf("(simulated A100-SXM4-80GB; see EXPERIMENTS.md for the\n");
+    std::printf("(simulated A100-SXM4-80GB; see docs/EXPERIMENTS.md for the\n");
     std::printf(" paper-vs-measured comparison)\n");
     std::printf("==============================================================\n\n");
 }

@@ -4,7 +4,7 @@
  * workload (mean context 10.5K, P:D 0-40) for vLLM, Sarathi and
  * Sarathi+POD at two loads near serving capacity (the paper's QPS 1.1
  * and 1.2; absolute QPS here follows the simulated capacity, see
- * EXPERIMENTS.md). Chunk size 1536 (the paper's choice for this
+ * docs/EXPERIMENTS.md). Chunk size 1536 (the paper's choice for this
  * prefill-heavy workload).
  */
 #include "online_common.h"

@@ -54,7 +54,7 @@ struct GeomOptions
      * Fraction of *repeated* KV-cache reads that miss L2 and reach
      * DRAM. KV tiles are re-read once per query tile and per GQA
      * group member; the 40 MB A100 L2 absorbs most repeats. The first
-     * read always pays DRAM. Calibration constant (DESIGN.md S5.5).
+     * read always pays DRAM. Calibration constant (docs/DESIGN.md S5.5).
      */
     double l2_miss_fraction = 0.12;
 };

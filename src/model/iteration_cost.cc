@@ -16,7 +16,7 @@ namespace {
  * Large dense GEMMs reach a higher fraction of tensor-core peak than
  * attention-shaped tiles; the GpuSpec's effective throughput is
  * calibrated for attention, so linear ops get this boost
- * (calibration constant, DESIGN.md S5.5).
+ * (calibration constant, docs/DESIGN.md S5.5).
  */
 constexpr double kGemmEfficiencyBoost = 1.2;
 

@@ -8,7 +8,7 @@
  * time comes from the kernel simulator through the configured backend
  * (FA kernels for the vLLM/Sarathi baselines, the fused kernel for
  * Sarathi+POD), memoized over bucketed batch signatures so
- * thousand-request traces stay tractable (DESIGN.md S5.4).
+ * thousand-request traces stay tractable (docs/DESIGN.md S5.4).
  */
 #ifndef POD_SERVE_ENGINE_H
 #define POD_SERVE_ENGINE_H

@@ -16,7 +16,7 @@ namespace pod::serve {
  * Tracks KV block allocation per request. Admission is conservative:
  * a request reserves blocks for its full prompt plus maximum output
  * up front, so no preemption is ever needed (documented deviation
- * from vLLM's watermark+preemption scheme; DESIGN.md S2).
+ * from vLLM's watermark+preemption scheme; docs/DESIGN.md S2).
  */
 class BlockKvManager
 {

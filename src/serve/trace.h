@@ -6,7 +6,7 @@
  *
  * The real traces are proprietary / dataset-derived; these generators
  * reproduce the published statistics: mean context length, P:D ratio
- * range, mean decode length and Poisson arrivals (DESIGN.md S2).
+ * range, mean decode length and Poisson arrivals (docs/DESIGN.md S2).
  */
 #ifndef POD_SERVE_TRACE_H
 #define POD_SERVE_TRACE_H

@@ -1,6 +1,6 @@
 /**
  * @file
- * Failure-injection tests for the serving layer (DESIGN.md S7):
+ * Failure-injection tests for the serving layer (docs/DESIGN.md S7):
  * oversized requests, exhausted KV pools, degenerate traces and
  * head-of-line blocking under memory pressure.
  */
