@@ -66,6 +66,19 @@ A100()
     return gpusim::GpuSpec::A100Sxm80GB();
 }
 
+/**
+ * The google-benchmark min-time flag in the spelling system benchmark
+ * 1.7.x accepts: a plain double, no unit suffix. Newer benchmark
+ * releases print the flag back with an "s" suffix
+ * ("--benchmark_min_time=0.1s"), and pasting that into a 1.7.x binary
+ * errors out -- always emit this form.
+ */
+inline const char*
+GbenchMinTimeFlag()
+{
+    return "--benchmark_min_time=0.1";
+}
+
 /** Print the standard bench header. */
 inline void
 Header(const char* id, const char* description)

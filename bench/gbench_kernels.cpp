@@ -8,6 +8,9 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "attnref/attention_ref.h"
 #include "bench_util.h"
 #include "core/attention.h"
@@ -85,4 +88,30 @@ BENCHMARK(BM_IterationCost)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Hand-rolled main instead of BENCHMARK_MAIN(): defaults the min-time
+ * flag to the 1.7.x-compatible spelling (GbenchMinTimeFlag) so the
+ * binary runs quickly out of the box, while explicit user flags win.
+ */
+int
+main(int argc, char** argv)
+{
+    std::vector<char*> args(argv, argv + argc);
+    bool has_min_time = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) {
+            has_min_time = true;
+        }
+    }
+    std::string default_min_time = GbenchMinTimeFlag();
+    if (!has_min_time) args.push_back(default_min_time.data());
+
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

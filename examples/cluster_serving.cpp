@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cluster serving walkthrough: a heterogeneous data-parallel fleet
+ * (2x A100 + 1x H100 + 1x RTX A6000) serving one Poisson arrival
+ * stream, with requests assigned by a pluggable routing policy.
+ *
+ * Shows the three cluster-layer concepts end to end:
+ *  - replica stepping: each replica is a full ServingEngine (own
+ *    scheduler, KV manager, attention memo cache) advanced
+ *    iteration-by-iteration by the cluster's discrete-event loop;
+ *  - routing: policies see per-replica ReplicaSnapshots (queue depth,
+ *    KV pressure, pending decode work) at each request's arrival;
+ *  - fleet metrics: per-replica and aggregate TTFT/throughput plus
+ *    load-imbalance coefficients.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "cluster/cluster_engine.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "serve/trace.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pod;
+    using namespace pod::cluster;
+
+    int num_requests = argc > 1 ? std::atoi(argv[1]) : 32;
+
+    // ---- fleet composition: mixed GPUs, mixed parallelism ----
+    serve::ServingConfig a100;
+    a100.model = model::ModelConfig::Llama3_8B();
+    a100.tensor_parallel = 2;
+    a100.backend = core::Backend::kPod;
+
+    serve::ServingConfig h100 = a100;
+    h100.gpu = gpusim::GpuSpec::H100Sxm80GB();
+
+    serve::ServingConfig a6000 = a100;
+    a6000.gpu = gpusim::GpuSpec::RtxA6000();
+    a6000.tensor_parallel = 1;  // workstation box, no TP partner
+
+    ClusterConfig fleet;
+    fleet.replicas = {a100, a100, h100, a6000};
+
+    SchedulerFactory sarathi = [](int) {
+        return std::make_unique<serve::SarathiScheduler>(1024);
+    };
+
+    // ---- one shared arrival stream, two routing policies ----
+    std::printf("Heterogeneous fleet: 2x A100 TP-2, 1x H100 TP-2, "
+                "1x RTX A6000 TP-1 (Llama-3-8B, Sarathi+POD)\n");
+    std::printf("%d requests, internal-enterprise workload, "
+                "2.5 QPS Poisson arrivals\n\n",
+                num_requests);
+
+    for (const char* policy : {"round-robin", "least-kv"}) {
+        Rng rng(7);
+        auto trace = serve::GenerateTrace(
+            serve::WorkloadSpec::Internal(), num_requests, 2.5, rng);
+
+        ClusterEngine cluster(fleet, sarathi, MakeRouter(policy));
+        ClusterMetricsReport report = cluster.Run(trace);
+
+        std::printf("--- router: %s ---\n", policy);
+        Table per_replica({"replica", "gpu", "requests", "req/min",
+                           "TTFT P99 (s)", "busy (s)", "KV peak"});
+        for (int r = 0; r < report.num_replicas; ++r) {
+            const auto& metrics =
+                report.per_replica[static_cast<size_t>(r)];
+            const auto& util =
+                report.utilization[static_cast<size_t>(r)];
+            per_replica.AddRow(
+                {Table::Int(r),
+                 cluster.Replica(r).Config().gpu.name,
+                 Table::Int(util.requests_routed),
+                 Table::Num(metrics.requests_per_minute, 1),
+                 Table::Num(metrics.ttft.Percentile(99), 2),
+                 Table::Num(util.busy_time, 1),
+                 Table::Pct(util.kv_peak)});
+        }
+        per_replica.Print(std::cout);
+        std::printf("fleet: %.1f req/min, TTFT P50/P99 %.2f/%.2f s, "
+                    "TBT P99 %.0f ms, request imbalance CV %.3f, "
+                    "token imbalance CV %.3f\n\n",
+                    report.fleet.requests_per_minute,
+                    report.fleet.ttft.Percentile(50),
+                    report.fleet.ttft.Percentile(99),
+                    report.fleet.tbt.Percentile(99) * 1e3,
+                    report.request_imbalance_cv,
+                    report.token_imbalance_cv);
+    }
+
+    std::printf("Note how the load-aware policy shifts work toward "
+                "the H100 and lightens the A6000,\nflattening the "
+                "TTFT tail relative to round-robin.\n");
+    return 0;
+}

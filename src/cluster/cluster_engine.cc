@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Implementation of the cluster discrete-event loop.
+ */
+#include "cluster/cluster_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pod::cluster {
+
+ClusterConfig
+ClusterConfig::Homogeneous(const serve::ServingConfig& base,
+                           int num_replicas)
+{
+    POD_CHECK_ARG(num_replicas >= 1, "fleet needs at least one replica");
+    ClusterConfig config;
+    config.replicas.assign(static_cast<size_t>(num_replicas), base);
+    return config;
+}
+
+ClusterEngine::ClusterEngine(ClusterConfig config,
+                             SchedulerFactory make_scheduler,
+                             std::unique_ptr<Router> router)
+    : router_(std::move(router))
+{
+    POD_CHECK_ARG(!config.replicas.empty(),
+                  "fleet needs at least one replica");
+    POD_CHECK_ARG(make_scheduler != nullptr,
+                  "cluster needs a scheduler factory");
+    POD_CHECK_ARG(router_ != nullptr, "cluster needs a router");
+    replicas_.reserve(config.replicas.size());
+    for (size_t i = 0; i < config.replicas.size(); ++i) {
+        auto scheduler = make_scheduler(static_cast<int>(i));
+        POD_CHECK_ARG(scheduler != nullptr,
+                      "scheduler factory returned null");
+        replicas_.emplace_back(config.replicas[i], std::move(scheduler));
+    }
+}
+
+const serve::ServingEngine&
+ClusterEngine::Replica(int index) const
+{
+    POD_CHECK_ARG(index >= 0 &&
+                      index < static_cast<int>(replicas_.size()),
+                  "replica index out of range");
+    return replicas_[static_cast<size_t>(index)];
+}
+
+ClusterMetricsReport
+ClusterEngine::Run(std::vector<serve::Request> requests)
+{
+    POD_CHECK_ARG(!requests.empty(), "need at least one request");
+    std::sort(requests.begin(), requests.end(), serve::ArrivalOrder);
+
+    const size_t num_replicas = replicas_.size();
+    for (auto& replica : replicas_) replica.Reset();
+    router_->Reset();
+
+    std::vector<ReplicaUtilization> util(num_replicas);
+    std::vector<serve::ReplicaSnapshot> snapshots(num_replicas);
+    std::vector<double> kv_util_sum(num_replicas, 0.0);
+    std::vector<long> kv_util_samples(num_replicas, 0);
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    size_t next_arrival = 0;
+
+    while (true) {
+        // Earliest actionable replica event.
+        double t_step = kInf;
+        size_t step_replica = 0;
+        for (size_t r = 0; r < num_replicas; ++r) {
+            double t = replicas_[r].NextEventTime();
+            if (t < t_step) {
+                t_step = t;
+                step_replica = r;
+            }
+        }
+
+        // Route every arrival not later than that event, so no
+        // replica forms a batch while an unrouted request that could
+        // have joined it is still pending.
+        if (next_arrival < requests.size() &&
+            requests[next_arrival].arrival_time <= t_step) {
+            const serve::Request& request = requests[next_arrival];
+            for (size_t r = 0; r < num_replicas; ++r) {
+                snapshots[r] = replicas_[r].Snapshot();
+                snapshots[r].replica_id = static_cast<int>(r);
+            }
+            int pick = router_->Route(request, snapshots);
+            POD_CHECK_ARG(pick >= 0 &&
+                              pick < static_cast<int>(num_replicas),
+                          "router returned an invalid replica index");
+            replicas_[static_cast<size_t>(pick)].Submit(request);
+            util[static_cast<size_t>(pick)].requests_routed += 1;
+            ++next_arrival;
+            continue;
+        }
+
+        if (t_step == kInf) break;  // fleet drained
+
+        serve::StepResult result = replicas_[step_replica].Step();
+        if (result.progressed) {
+            ReplicaUtilization& u = util[step_replica];
+            u.busy_time += result.duration;
+            u.tokens_processed += result.batch_tokens;
+            u.kv_peak = std::max(u.kv_peak, result.kv_utilization);
+            kv_util_sum[step_replica] += result.kv_utilization;
+            kv_util_samples[step_replica] += 1;
+        }
+    }
+
+    POD_ASSERT(next_arrival == requests.size());
+    for (auto& replica : replicas_) POD_ASSERT(replica.Done());
+
+    // ---- assemble the report ----
+    ClusterMetricsReport report;
+    report.router = router_->Name();
+    report.num_replicas = static_cast<int>(num_replicas);
+    report.utilization = std::move(util);
+
+    std::vector<serve::RequestState> fleet_states;
+    fleet_states.reserve(requests.size());
+    double fleet_makespan = 0.0;
+    long fleet_iterations = 0;
+    double fleet_tokens = 0.0;
+    std::vector<double> request_counts;
+    std::vector<double> token_counts;
+    request_counts.reserve(num_replicas);
+    token_counts.reserve(num_replicas);
+
+    for (size_t r = 0; r < num_replicas; ++r) {
+        const serve::ServingEngine& replica = replicas_[r];
+        report.per_replica.push_back(replica.Report());
+        report.utilization[r].kv_mean =
+            kv_util_samples[r] > 0
+                ? kv_util_sum[r] /
+                      static_cast<double>(kv_util_samples[r])
+                : 0.0;
+        fleet_states.insert(fleet_states.end(),
+                            replica.States().begin(),
+                            replica.States().end());
+        fleet_makespan = std::max(fleet_makespan, replica.Now());
+        fleet_iterations += replica.Iterations();
+        fleet_tokens += replica.TotalBatchTokens();
+        request_counts.push_back(
+            static_cast<double>(report.utilization[r].requests_routed));
+        token_counts.push_back(
+            report.utilization[r].tokens_processed);
+    }
+
+    report.fleet = serve::CollectMetrics(fleet_states, fleet_makespan,
+                                         fleet_iterations, fleet_tokens);
+    report.fleet.system = router_->Name();
+    report.request_imbalance_cv = CoefficientOfVariation(request_counts);
+    report.token_imbalance_cv = CoefficientOfVariation(token_counts);
+    return report;
+}
+
+}  // namespace pod::cluster

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Data-parallel cluster serving: N replica ServingEngines advanced in
+ * lock-step over one shared arrival stream by a small discrete-event
+ * loop, with arriving requests assigned to replicas by a pluggable
+ * Router (docs/DESIGN.md S8).
+ *
+ * Each replica is a full ServingEngine — its own scheduler, KV
+ * manager and attention memo cache — so fleets may mix GPU specs,
+ * tensor-parallel degrees and scheduler policies freely.
+ */
+#ifndef POD_CLUSTER_CLUSTER_ENGINE_H
+#define POD_CLUSTER_CLUSTER_ENGINE_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_metrics.h"
+#include "cluster/router.h"
+#include "serve/engine.h"
+
+namespace pod::cluster {
+
+/** Fleet composition: one ServingConfig per replica. */
+struct ClusterConfig
+{
+    std::vector<serve::ServingConfig> replicas;
+
+    /** N identical replicas of one base config. */
+    static ClusterConfig Homogeneous(const serve::ServingConfig& base,
+                                     int num_replicas);
+};
+
+/**
+ * Builds the scheduler for one replica (each replica needs its own
+ * instance; schedulers are stateless today but own their knobs).
+ */
+using SchedulerFactory =
+    std::function<std::unique_ptr<serve::Scheduler>(int replica_index)>;
+
+/**
+ * Owns the replica engines and simulates the fleet.
+ *
+ * The event loop maintains one clock per replica (the time its last
+ * iteration finished) and repeatedly services the earliest event:
+ * either the next trace arrival — routed to a replica chosen from
+ * fresh ReplicaSnapshots — or a step of the replica whose next
+ * actionable instant is earliest. Arrivals are always routed before
+ * any replica *forms a batch* they could have joined (iterations are
+ * non-preemptive, so an arrival landing mid-iteration could not have
+ * joined it anyway). Snapshots are end-of-last-iteration views: for
+ * an arrival that lands inside another replica's in-flight
+ * iteration, that replica's snapshot can lead the arrival instant by
+ * up to one iteration (~tens of ms) — the standard iteration-level
+ * simplification, mirroring a router that polls replica state at
+ * batch boundaries.
+ */
+class ClusterEngine
+{
+  public:
+    /**
+     * @param config fleet composition (>= 1 replica).
+     * @param make_scheduler called once per replica index.
+     * @param router routing policy (consulted once per request).
+     */
+    ClusterEngine(ClusterConfig config, SchedulerFactory make_scheduler,
+                  std::unique_ptr<Router> router);
+
+    /**
+     * Simulate all requests to completion across the fleet.
+     * Requests are sorted by arrival internally.
+     */
+    ClusterMetricsReport Run(std::vector<serve::Request> requests);
+
+    int NumReplicas() const
+    {
+        return static_cast<int>(replicas_.size());
+    }
+
+    const serve::ServingEngine& Replica(int index) const;
+
+    const Router& RouterPolicy() const { return *router_; }
+
+  private:
+    std::vector<serve::ServingEngine> replicas_;
+    std::unique_ptr<Router> router_;
+};
+
+}  // namespace pod::cluster
+
+#endif  // POD_CLUSTER_CLUSTER_ENGINE_H

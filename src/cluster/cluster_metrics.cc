@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Implementation of fleet-level metric helpers.
+ */
+#include "cluster/cluster_metrics.h"
+
+#include "common/stats.h"
+
+namespace pod::cluster {
+
+double
+CoefficientOfVariation(const std::vector<double>& values)
+{
+    SampleStats stats;
+    stats.AddAll(values);
+    double mean = stats.Mean();
+    if (mean == 0.0) return 0.0;
+    return stats.Stddev() / mean;
+}
+
+}  // namespace pod::cluster

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Implementation of the routing policies.
+ */
+#include "cluster/router.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pod::cluster {
+
+namespace {
+
+/**
+ * Index of the replica minimizing a (primary, secondary) score pair
+ * lexicographically, lowest index on remaining ties. The secondary
+ * key keeps policies sensible when the primary signal is degenerate
+ * (e.g. every replica reports zero decode load at t=0).
+ */
+template <typename ScoreFn>
+int
+ArgMin(const std::vector<serve::ReplicaSnapshot>& replicas,
+       ScoreFn score)
+{
+    POD_CHECK_ARG(!replicas.empty(), "router needs at least one replica");
+    int best = 0;
+    std::pair<double, double> best_score = score(replicas[0]);
+    for (size_t i = 1; i < replicas.size(); ++i) {
+        std::pair<double, double> s = score(replicas[i]);
+        if (s < best_score) {
+            best = static_cast<int>(i);
+            best_score = s;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+int
+RoundRobinRouter::Route(const serve::Request& request,
+                        const std::vector<serve::ReplicaSnapshot>&
+                            replicas)
+{
+    (void)request;
+    POD_CHECK_ARG(!replicas.empty(), "router needs at least one replica");
+    int pick = static_cast<int>(next_ % replicas.size());
+    ++next_;
+    return pick;
+}
+
+int
+LeastOutstandingRouter::Route(const serve::Request& request,
+                              const std::vector<serve::ReplicaSnapshot>&
+                                  replicas)
+{
+    (void)request;
+    return ArgMin(replicas, [](const serve::ReplicaSnapshot& r) {
+        return std::make_pair(static_cast<double>(r.outstanding),
+                              r.kv_pressure);
+    });
+}
+
+int
+LeastKvPressureRouter::Route(const serve::Request& request,
+                             const std::vector<serve::ReplicaSnapshot>&
+                                 replicas)
+{
+    (void)request;
+    return ArgMin(replicas, [](const serve::ReplicaSnapshot& r) {
+        return std::make_pair(r.kv_pressure,
+                              static_cast<double>(r.outstanding));
+    });
+}
+
+PrefillAwareRouter::PrefillAwareRouter(int long_prompt_threshold)
+    : long_prompt_threshold_(long_prompt_threshold)
+{
+    POD_CHECK_ARG(long_prompt_threshold >= 1,
+                  "long-prompt threshold must be >= 1");
+}
+
+int
+PrefillAwareRouter::Route(const serve::Request& request,
+                          const std::vector<serve::ReplicaSnapshot>&
+                              replicas)
+{
+    if (request.prefill_tokens >= long_prompt_threshold_) {
+        return ArgMin(replicas, [](const serve::ReplicaSnapshot& r) {
+            return std::make_pair(
+                static_cast<double>(r.decode_tokens_pending),
+                static_cast<double>(r.outstanding));
+        });
+    }
+    return ArgMin(replicas, [](const serve::ReplicaSnapshot& r) {
+        return std::make_pair(static_cast<double>(r.outstanding),
+                              static_cast<double>(
+                                  r.decode_tokens_pending));
+    });
+}
+
+std::unique_ptr<Router>
+MakeRouter(const std::string& name)
+{
+    if (name == "round-robin") {
+        return std::make_unique<RoundRobinRouter>();
+    }
+    if (name == "least-outstanding") {
+        return std::make_unique<LeastOutstandingRouter>();
+    }
+    if (name == "least-kv") {
+        return std::make_unique<LeastKvPressureRouter>();
+    }
+    if (name == "prefill-aware") {
+        return std::make_unique<PrefillAwareRouter>();
+    }
+    Fatal("unknown router policy '%s'", name.c_str());
+}
+
+std::vector<std::string>
+RouterNames()
+{
+    return {"round-robin", "least-outstanding", "least-kv",
+            "prefill-aware"};
+}
+
+}  // namespace pod::cluster

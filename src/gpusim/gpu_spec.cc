@@ -49,6 +49,68 @@ GpuSpec::A100Sxm80GB()
 }
 
 GpuSpec
+GpuSpec::H100Sxm80GB()
+{
+    GpuSpec spec;
+    spec.name = "H100-SXM5-80GB";
+    spec.num_sms = 132;
+    // Same achievable-efficiency factors as the A100 preset so the
+    // specs stay comparable: 0.65 on dense tensor peak (989 TFLOPS
+    // FP16), 0.7 on FP32 peak (67 TFLOPS), 0.85 on HBM3 peak
+    // (3352 GB/s).
+    spec.tensor_flops_per_sm = 989e12 * 0.65 / 132.0;
+    spec.cuda_flops_per_sm = 67e12 * 0.7 / 132.0;
+    spec.hbm_bandwidth = 3352e9 * 0.85;
+    // Per-SM/per-warp caps scaled from the A100 values by the HBM
+    // bandwidth ratio (Hopper widens the LSU path with the memory).
+    spec.sm_bandwidth_cap = 75e9;
+    spec.warp_bandwidth_cap = 8e9;
+    spec.shared_mem_per_sm = 227.0 * 1024.0;
+    spec.max_threads_per_sm = 2048;
+    spec.max_ctas_per_sm = 32;
+    spec.hbm_capacity = 80.0 * 1024.0 * 1024.0 * 1024.0;
+    spec.nvlink_bandwidth = 900e9;
+    // Component split of the 700 W SXM5 TDP, same proportions as the
+    // A100 model.
+    spec.idle_power_w = 110.0;
+    spec.tensor_power_w = 330.0;
+    spec.cuda_power_w = 70.0;
+    spec.hbm_power_w = 190.0;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::RtxA6000()
+{
+    GpuSpec spec;
+    spec.name = "RTX-A6000";
+    spec.num_sms = 84;
+    // 154.8 TFLOPS dense FP16 tensor (FP32 accumulate) and 38.7
+    // TFLOPS FP32 per the datasheet, with the shared efficiency
+    // factors; 768 GB/s GDDR6 (GDDR achieves a slightly lower
+    // fraction of peak than HBM -- 0.8).
+    spec.tensor_flops_per_sm = 154.8e12 * 0.65 / 84.0;
+    spec.cuda_flops_per_sm = 38.7e12 * 0.7 / 84.0;
+    spec.hbm_bandwidth = 768e9 * 0.80;
+    spec.sm_bandwidth_cap = 18e9;
+    spec.warp_bandwidth_cap = 4e9;
+    // GA102 keeps 128 KiB unified L1/shared per SM; up to 100 KiB is
+    // configurable as shared memory.
+    spec.shared_mem_per_sm = 100.0 * 1024.0;
+    spec.max_threads_per_sm = 1536;
+    spec.max_ctas_per_sm = 16;
+    spec.hbm_capacity = 48.0 * 1024.0 * 1024.0 * 1024.0;
+    // NVLink3 bridge between a pair of A6000s.
+    spec.nvlink_bandwidth = 112.5e9;
+    // Component split of the 300 W TDP.
+    spec.idle_power_w = 60.0;
+    spec.tensor_power_w = 130.0;
+    spec.cuda_power_w = 40.0;
+    spec.hbm_power_w = 70.0;
+    return spec;
+}
+
+GpuSpec
 GpuSpec::TestGpu8Sm()
 {
     GpuSpec spec;

@@ -113,6 +113,23 @@ struct GpuSpec
     static GpuSpec A100Sxm80GB();
 
     /**
+     * NVIDIA H100-SXM5-80GB preset (Hopper). Peak numbers from the
+     * NVIDIA H100 datasheet / Hopper whitepaper: 132 SMs, 989 TFLOPS
+     * dense FP16 tensor, 67 TFLOPS FP32, 3.35 TB/s HBM3, 228 KiB
+     * shared memory per SM (227 KiB usable per CTA, as modeled),
+     * 900 GB/s NVLink4.
+     */
+    static GpuSpec H100Sxm80GB();
+
+    /**
+     * NVIDIA RTX A6000 preset (Ampere GA102, workstation). Peak
+     * numbers from the NVIDIA RTX A6000 datasheet: 84 SMs, 154.8
+     * TFLOPS dense FP16 tensor (FP32 accumulate), 38.7 TFLOPS FP32,
+     * 768 GB/s GDDR6, 48 GiB, 112.5 GB/s NVLink3 bridge.
+     */
+    static GpuSpec RtxA6000();
+
+    /**
      * A small 8-SM toy GPU, convenient for fast unit tests that need
      * to reason about exact wave/occupancy behaviour.
      */

@@ -42,6 +42,7 @@ ServingEngine::ServingEngine(ServingConfig config,
     POD_CHECK_ARG(scheduler_ != nullptr, "engine needs a scheduler");
     config_.model.Validate(config_.tensor_parallel);
     config_.gpu.Validate();
+    Reset();
 }
 
 double
@@ -146,97 +147,182 @@ ServingEngine::IterationTime(const ScheduledBatch& batch,
     return config_.iteration_overhead + linear_total + attn + logits;
 }
 
+void
+ServingEngine::Reset()
+{
+    states_.clear();
+    now_ = 0.0;
+    iterations_ = 0;
+    total_batch_tokens_ = 0.0;
+    finished_ = 0;
+    long kv_tokens = config_.KvTokenCapacity();
+    kv_ = std::make_unique<BlockKvManager>(
+        std::max<long>(1, kv_tokens / config_.kv_block_size),
+        config_.kv_block_size);
+}
+
+void
+ServingEngine::Submit(const Request& request)
+{
+    POD_CHECK_ARG(request.prefill_tokens > 0, "request needs a prompt");
+    POD_CHECK_ARG(request.decode_tokens >= 1,
+                  "request needs at least one output token");
+    POD_CHECK_ARG(states_.empty() ||
+                      request.arrival_time >=
+                          states_.back().request.arrival_time,
+                  "submissions must be ordered by arrival time");
+    RequestState state;
+    state.request = request;
+    states_.push_back(state);
+}
+
+StepResult
+ServingEngine::Step()
+{
+    POD_ASSERT(kv_ != nullptr);  // the constructor calls Reset()
+    StepResult result;
+    result.start = now_;
+
+    ScheduledBatch batch = scheduler_->Next(now_, states_, *kv_);
+    if (batch.Empty()) {
+        // Nothing runnable: jump to the next arrival.
+        double next_arrival = std::numeric_limits<double>::infinity();
+        for (const auto& state : states_) {
+            if (!state.finished && !state.admitted &&
+                state.request.arrival_time > now_) {
+                next_arrival = std::min(next_arrival,
+                                        state.request.arrival_time);
+            }
+        }
+        POD_ASSERT_MSG(next_arrival <
+                           std::numeric_limits<double>::infinity(),
+                       "scheduler stuck with %zu unfinished requests",
+                       states_.size() - finished_);
+        now_ = next_arrival;
+        result.kv_utilization = kv_->Utilization();
+        return result;
+    }
+
+    double dt = IterationTime(batch, states_);
+    now_ += dt;
+    ++iterations_;
+    total_batch_tokens_ += batch.TotalTokens();
+
+    // Apply prefill progress.
+    for (const auto& p : batch.prefills) {
+        RequestState& state = states_[static_cast<size_t>(p.req_index)];
+        state.prefilled += p.chunk_len;
+        POD_ASSERT(state.prefilled <= state.request.prefill_tokens);
+        if (state.PrefillDone()) {
+            // The completing iteration emits the first token.
+            state.decoded = 1;
+            state.first_token_time = now_;
+            state.last_token_time = now_;
+            if (state.decoded >= state.request.decode_tokens) {
+                state.finished = true;
+                state.finish_time = now_;
+                kv_->Free(state.request.id);
+                ++finished_;
+                ++result.completed;
+            }
+        }
+    }
+
+    // Apply decode progress.
+    for (int idx : batch.decodes) {
+        RequestState& state = states_[static_cast<size_t>(idx)];
+        state.decoded += 1;
+        state.tbt.push_back(now_ - state.last_token_time);
+        state.last_token_time = now_;
+        if (state.decoded >= state.request.decode_tokens) {
+            state.finished = true;
+            state.finish_time = now_;
+            kv_->Free(state.request.id);
+            ++finished_;
+            ++result.completed;
+        }
+    }
+
+    result.progressed = true;
+    result.duration = dt;
+    result.batch_tokens = batch.TotalTokens();
+    result.kv_utilization = kv_->Utilization();
+    return result;
+}
+
+double
+ServingEngine::NextEventTime() const
+{
+    double next = std::numeric_limits<double>::infinity();
+    for (const auto& state : states_) {
+        if (state.finished) continue;
+        if (state.admitted || state.request.arrival_time <= now_) {
+            return now_;
+        }
+        next = std::min(next, state.request.arrival_time);
+    }
+    return next;
+}
+
+ReplicaSnapshot
+ServingEngine::Snapshot() const
+{
+    POD_ASSERT(kv_ != nullptr);  // the constructor calls Reset()
+    ReplicaSnapshot snap;
+    snap.gpu_name = config_.gpu.name;
+    snap.now = now_;
+    snap.submitted = static_cast<int>(states_.size());
+    snap.finished = static_cast<int>(finished_);
+    snap.outstanding = snap.submitted - snap.finished;
+    long pending_unadmitted_blocks = 0;
+    for (const auto& state : states_) {
+        if (state.finished) continue;
+        if (state.admitted) {
+            ++snap.running;
+            snap.decode_tokens_pending +=
+                state.request.decode_tokens - state.decoded;
+        } else {
+            if (state.request.arrival_time <= now_) ++snap.waiting;
+            pending_unadmitted_blocks +=
+                kv_->BlocksFor(state.request.prefill_tokens +
+                               state.request.decode_tokens);
+        }
+        snap.prefill_tokens_pending +=
+            state.request.prefill_tokens - state.prefilled;
+    }
+    snap.iterations = iterations_;
+    snap.kv_utilization = kv_->Utilization();
+    snap.kv_free_blocks = kv_->FreeBlocks();
+    snap.kv_total_blocks = kv_->TotalBlocks();
+    if (kv_->TotalBlocks() > 0) {
+        snap.kv_pressure =
+            snap.kv_utilization +
+            static_cast<double>(pending_unadmitted_blocks) /
+                static_cast<double>(kv_->TotalBlocks());
+    }
+    return snap;
+}
+
+MetricsReport
+ServingEngine::Report() const
+{
+    POD_CHECK_ARG(Done(), "Report() requires all requests finished");
+    MetricsReport report =
+        CollectMetrics(states_, now_, iterations_, total_batch_tokens_);
+    report.system = scheduler_->Name();
+    return report;
+}
+
 MetricsReport
 ServingEngine::Run(std::vector<Request> requests)
 {
     POD_CHECK_ARG(!requests.empty(), "need at least one request");
-    std::sort(requests.begin(), requests.end(),
-              [](const Request& a, const Request& b) {
-                  return a.arrival_time < b.arrival_time;
-              });
+    std::sort(requests.begin(), requests.end(), ArrivalOrder);
 
-    std::vector<RequestState> states(requests.size());
-    for (size_t i = 0; i < requests.size(); ++i) {
-        states[i].request = requests[i];
-        POD_CHECK_ARG(requests[i].prefill_tokens > 0,
-                      "request needs a prompt");
-        POD_CHECK_ARG(requests[i].decode_tokens >= 1,
-                      "request needs at least one output token");
-    }
-
-    long kv_tokens = config_.KvTokenCapacity();
-    BlockKvManager kv(
-        std::max<long>(1, kv_tokens / config_.kv_block_size),
-        config_.kv_block_size);
-
-    double now = 0.0;
-    long iterations = 0;
-    double total_batch_tokens = 0.0;
-    size_t finished = 0;
-
-    while (finished < states.size()) {
-        ScheduledBatch batch = scheduler_->Next(now, states, kv);
-        if (batch.Empty()) {
-            // Nothing runnable: jump to the next arrival.
-            double next_arrival = std::numeric_limits<double>::infinity();
-            for (const auto& state : states) {
-                if (!state.finished && !state.admitted &&
-                    state.request.arrival_time > now) {
-                    next_arrival = std::min(next_arrival,
-                                            state.request.arrival_time);
-                }
-            }
-            POD_ASSERT_MSG(next_arrival <
-                               std::numeric_limits<double>::infinity(),
-                           "scheduler stuck with %zu unfinished requests",
-                           states.size() - finished);
-            now = next_arrival;
-            continue;
-        }
-
-        double dt = IterationTime(batch, states);
-        now += dt;
-        ++iterations;
-        total_batch_tokens += batch.TotalTokens();
-
-        // Apply prefill progress.
-        for (const auto& p : batch.prefills) {
-            RequestState& state = states[static_cast<size_t>(p.req_index)];
-            state.prefilled += p.chunk_len;
-            POD_ASSERT(state.prefilled <= state.request.prefill_tokens);
-            if (state.PrefillDone()) {
-                // The completing iteration emits the first token.
-                state.decoded = 1;
-                state.first_token_time = now;
-                state.last_token_time = now;
-                if (state.decoded >= state.request.decode_tokens) {
-                    state.finished = true;
-                    state.finish_time = now;
-                    kv.Free(state.request.id);
-                    ++finished;
-                }
-            }
-        }
-
-        // Apply decode progress.
-        for (int idx : batch.decodes) {
-            RequestState& state = states[static_cast<size_t>(idx)];
-            state.decoded += 1;
-            state.tbt.push_back(now - state.last_token_time);
-            state.last_token_time = now;
-            if (state.decoded >= state.request.decode_tokens) {
-                state.finished = true;
-                state.finish_time = now;
-                kv.Free(state.request.id);
-                ++finished;
-            }
-        }
-    }
-
-    MetricsReport report =
-        CollectMetrics(states, now, iterations, total_batch_tokens);
-    report.system = scheduler_->Name();
-    return report;
+    Reset();
+    for (const Request& request : requests) Submit(request);
+    while (!Done()) Step();
+    return Report();
 }
 
 }  // namespace pod::serve

@@ -14,6 +14,7 @@
 #define POD_SERVE_ENGINE_H
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -61,7 +62,92 @@ struct ServingConfig
     long KvTokenCapacity() const;
 };
 
-/** Runs a trace through a scheduler and reports metrics. */
+/**
+ * Point-in-time view of one replica's queue and KV occupancy,
+ * consumed by the cluster layer's routing policies
+ * (docs/DESIGN.md S8). All token/request counts refer to requests
+ * submitted to this engine, whether or not they have arrived yet.
+ */
+struct ReplicaSnapshot
+{
+    /** Index in the owning cluster (-1 for a standalone engine). */
+    int replica_id = -1;
+
+    /** GPU preset serving this replica. */
+    std::string gpu_name;
+
+    /** Replica-local clock (end of its last iteration). */
+    double now = 0.0;
+
+    int submitted = 0;
+    int finished = 0;
+
+    /** Arrived (arrival_time <= now) but not yet admitted. */
+    int waiting = 0;
+
+    /** Admitted and unfinished (holding KV blocks). */
+    int running = 0;
+
+    /** All unfinished submitted requests (includes future arrivals). */
+    int outstanding = 0;
+
+    /** Unprocessed prompt tokens across unfinished requests. */
+    long prefill_tokens_pending = 0;
+
+    /** Remaining output tokens across admitted unfinished requests. */
+    long decode_tokens_pending = 0;
+
+    /** Fraction of the KV pool reserved by admitted requests. */
+    double kv_utilization = 0.0;
+
+    /**
+     * Reserved blocks plus the blocks every not-yet-admitted request
+     * will need, as a fraction of the pool. Can exceed 1 under
+     * overload; the least-KV-pressure router minimizes this.
+     */
+    double kv_pressure = 0.0;
+
+    long kv_free_blocks = 0;
+    long kv_total_blocks = 0;
+
+    long iterations = 0;
+};
+
+/** Outcome of one ServingEngine::Step() call. */
+struct StepResult
+{
+    /**
+     * True if a batch executed. False means the clock only jumped
+     * forward to the next queued arrival (no work was runnable).
+     */
+    bool progressed = false;
+
+    /** Clock when the batch was formed. */
+    double start = 0.0;
+
+    /** Iteration latency (0 for an idle jump). */
+    double duration = 0.0;
+
+    /** New tokens processed this iteration. */
+    int batch_tokens = 0;
+
+    /** Requests that finished this iteration. */
+    int completed = 0;
+
+    /** KV pool utilization after the step. */
+    double kv_utilization = 0.0;
+};
+
+/**
+ * Runs requests through a scheduler and reports metrics.
+ *
+ * Two driving modes share one execution path:
+ *  - Run(): the classic single-replica mode — sorts a whole trace,
+ *    steps to completion, returns the report.
+ *  - Reset()/Submit()/Step(): incremental mode for the cluster layer,
+ *    which routes requests to replicas mid-simulation and advances
+ *    each replica one iteration at a time.
+ */
 class ServingEngine
 {
   public:
@@ -70,9 +156,54 @@ class ServingEngine
 
     /**
      * Simulate all requests to completion.
-     * Requests are sorted by arrival internally.
+     * Requests are sorted by arrival internally. Equivalent to
+     * Reset() + Submit() in arrival order + Step() until Done().
      */
     MetricsReport Run(std::vector<Request> requests);
+
+    /** Clear all request state and rebuild the KV pool. */
+    void Reset();
+
+    /**
+     * Add a request to the replica's queue. Submissions must be
+     * ordered by arrival time (the admission scan relies on it).
+     */
+    void Submit(const Request& request);
+
+    /**
+     * Advance one scheduler iteration: form a batch at the current
+     * clock, charge its latency, apply prefill/decode progress. With
+     * no runnable work, jumps the clock to the next queued arrival
+     * instead (progressed=false). Fatal if called with nothing left
+     * to do — guard with Done() / NextEventTime().
+     */
+    StepResult Step();
+
+    /** All submitted requests finished (true when none submitted). */
+    bool Done() const { return finished_ == states_.size(); }
+
+    /**
+     * Time of this replica's next actionable event: `Now()` if work
+     * is runnable, the earliest queued future arrival otherwise, or
+     * +infinity when the queue is drained.
+     */
+    double NextEventTime() const;
+
+    /** Queue/KV occupancy view for routing decisions. */
+    ReplicaSnapshot Snapshot() const;
+
+    /** Metrics over the completed run; requires Done(). */
+    MetricsReport Report() const;
+
+    /** Replica-local clock. */
+    double Now() const { return now_; }
+
+    long Iterations() const { return iterations_; }
+
+    /** Total new tokens processed across all iterations. */
+    double TotalBatchTokens() const { return total_batch_tokens_; }
+
+    const std::vector<RequestState>& States() const { return states_; }
 
     /** Attention memo-cache entries created so far. */
     size_t AttnCacheSize() const { return attn_cache_.size(); }
@@ -91,6 +222,14 @@ class ServingEngine
     ServingConfig config_;
     std::unique_ptr<Scheduler> scheduler_;
     std::unordered_map<uint64_t, double> attn_cache_;
+
+    // ---- stepping state (valid between Reset() and Done()) ----
+    std::vector<RequestState> states_;
+    std::unique_ptr<BlockKvManager> kv_;
+    double now_ = 0.0;
+    long iterations_ = 0;
+    double total_batch_tokens_ = 0.0;
+    size_t finished_ = 0;
 };
 
 }  // namespace pod::serve

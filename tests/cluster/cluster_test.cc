@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the cluster serving layer: the discrete-event loop over
+ * replica engines, fleet metrics, heterogeneous fleets, and the
+ * single-replica equivalence guarantee.
+ */
+#include "cluster/cluster_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "serve/trace.h"
+
+namespace pod::cluster {
+namespace {
+
+serve::ServingConfig
+BaseConfig()
+{
+    serve::ServingConfig config;
+    config.model = model::ModelConfig::Llama3_8B();
+    config.tensor_parallel = 2;
+    config.backend = core::Backend::kFaSerial;
+    return config;
+}
+
+SchedulerFactory
+SarathiFactory(int token_budget)
+{
+    return [token_budget](int) {
+        return std::make_unique<serve::SarathiScheduler>(token_budget);
+    };
+}
+
+TEST(ClusterEngineTest, SingleReplicaBitIdenticalToServingEngine)
+{
+    // A one-replica cluster is just a ServingEngine with routing
+    // overhead; its metrics must match Run() bit-for-bit.
+    Rng rng(77);
+    auto trace =
+        serve::GenerateTrace(serve::WorkloadSpec::Internal(), 8, 0.4, rng);
+
+    serve::ServingEngine solo(
+        BaseConfig(), std::make_unique<serve::SarathiScheduler>(512));
+    serve::MetricsReport solo_report = solo.Run(trace);
+
+    ClusterEngine cluster(ClusterConfig::Homogeneous(BaseConfig(), 1),
+                          SarathiFactory(512),
+                          std::make_unique<RoundRobinRouter>());
+    ClusterMetricsReport report = cluster.Run(trace);
+
+    EXPECT_EQ(report.fleet.makespan, solo_report.makespan);
+    EXPECT_EQ(report.fleet.iterations, solo_report.iterations);
+    EXPECT_EQ(report.fleet.ttft.Sum(), solo_report.ttft.Sum());
+    EXPECT_EQ(report.fleet.tbt.Sum(), solo_report.tbt.Sum());
+    EXPECT_EQ(report.fleet.latency.Sum(), solo_report.latency.Sum());
+    EXPECT_EQ(report.request_imbalance_cv, 0.0);
+}
+
+TEST(ClusterEngineTest, AllRequestsFinishAcrossReplicas)
+{
+    Rng rng(5);
+    auto trace =
+        serve::GenerateTrace(serve::WorkloadSpec::Arxiv(), 12, 1.0, rng);
+    ClusterEngine cluster(ClusterConfig::Homogeneous(BaseConfig(), 3),
+                          SarathiFactory(512),
+                          std::make_unique<LeastOutstandingRouter>());
+    ClusterMetricsReport report = cluster.Run(trace);
+
+    EXPECT_EQ(report.num_replicas, 3);
+    EXPECT_EQ(report.fleet.num_requests, 12);
+    EXPECT_EQ(report.fleet.ttft.Count(), 12u);
+    int per_replica_sum = 0;
+    int routed_sum = 0;
+    for (int r = 0; r < 3; ++r) {
+        per_replica_sum += report.per_replica[static_cast<size_t>(r)]
+                               .num_requests;
+        routed_sum +=
+            report.utilization[static_cast<size_t>(r)].requests_routed;
+    }
+    EXPECT_EQ(per_replica_sum, 12);
+    EXPECT_EQ(routed_sum, 12);
+    EXPECT_TRUE(std::isfinite(report.request_imbalance_cv));
+    EXPECT_TRUE(std::isfinite(report.token_imbalance_cv));
+}
+
+TEST(ClusterEngineTest, ThroughputScalesWithReplicas)
+{
+    auto trace = serve::UniformTrace(8, 8192, 64);
+    ClusterEngine one(ClusterConfig::Homogeneous(BaseConfig(), 1),
+                      SarathiFactory(1024),
+                      std::make_unique<RoundRobinRouter>());
+    ClusterEngine two(ClusterConfig::Homogeneous(BaseConfig(), 2),
+                      SarathiFactory(1024),
+                      std::make_unique<RoundRobinRouter>());
+    ClusterMetricsReport r1 = one.Run(trace);
+    ClusterMetricsReport r2 = two.Run(trace);
+    EXPECT_GT(r2.fleet.requests_per_minute,
+              r1.fleet.requests_per_minute * 1.5);
+}
+
+TEST(ClusterEngineTest, RoundRobinBalancesUniformLoadPerfectly)
+{
+    auto trace = serve::UniformTrace(8, 4096, 32);
+    ClusterEngine cluster(ClusterConfig::Homogeneous(BaseConfig(), 2),
+                          SarathiFactory(1024),
+                          std::make_unique<RoundRobinRouter>());
+    ClusterMetricsReport report = cluster.Run(trace);
+    EXPECT_EQ(report.utilization[0].requests_routed, 4);
+    EXPECT_EQ(report.utilization[1].requests_routed, 4);
+    EXPECT_EQ(report.request_imbalance_cv, 0.0);
+    // Identical requests on identical replicas: token load even too.
+    EXPECT_NEAR(report.token_imbalance_cv, 0.0, 1e-12);
+}
+
+TEST(ClusterEngineTest, KvUtilizationSampled)
+{
+    auto trace = serve::UniformTrace(6, 8192, 64);
+    ClusterEngine cluster(ClusterConfig::Homogeneous(BaseConfig(), 2),
+                          SarathiFactory(1024),
+                          std::make_unique<LeastKvPressureRouter>());
+    ClusterMetricsReport report = cluster.Run(trace);
+    for (const auto& u : report.utilization) {
+        EXPECT_GT(u.kv_peak, 0.0);
+        EXPECT_GT(u.kv_mean, 0.0);
+        EXPECT_LE(u.kv_mean, u.kv_peak);
+        EXPECT_GT(u.busy_time, 0.0);
+        EXPECT_GT(u.tokens_processed, 0.0);
+    }
+}
+
+TEST(ClusterEngineTest, HeterogeneousFleetFasterGpuDoesMoreWork)
+{
+    // A100 + H100 fleet under least-outstanding routing: the H100
+    // drains its queue faster, so it ends up serving more requests.
+    ClusterConfig config;
+    config.replicas.push_back(BaseConfig());
+    serve::ServingConfig h100 = BaseConfig();
+    h100.gpu = gpusim::GpuSpec::H100Sxm80GB();
+    config.replicas.push_back(h100);
+
+    ClusterEngine cluster(config, SarathiFactory(512),
+                          std::make_unique<LeastOutstandingRouter>());
+    // Staggered arrivals: later routing decisions see queue depths,
+    // which reflect how fast each GPU drains.
+    auto trace = serve::UniformTrace(12, 8192, 128);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        trace[i].arrival_time = static_cast<double>(i) * 0.25;
+    }
+    ClusterMetricsReport report = cluster.Run(trace);
+
+    EXPECT_EQ(report.fleet.num_requests, 12);
+    EXPECT_GT(report.utilization[1].requests_routed,
+              report.utilization[0].requests_routed);
+    // Per-replica mean latency reflects the hardware gap.
+    EXPECT_LT(report.per_replica[1].latency.Mean(),
+              report.per_replica[0].latency.Mean());
+}
+
+TEST(ClusterEngineTest, FleetMetricsAggregatePerReplicaReports)
+{
+    auto trace = serve::UniformTrace(6, 4096, 32);
+    ClusterEngine cluster(ClusterConfig::Homogeneous(BaseConfig(), 3),
+                          SarathiFactory(1024),
+                          std::make_unique<RoundRobinRouter>());
+    ClusterMetricsReport report = cluster.Run(trace);
+    long iteration_sum = 0;
+    size_t ttft_sum = 0;
+    for (const auto& replica : report.per_replica) {
+        iteration_sum += replica.iterations;
+        ttft_sum += replica.ttft.Count();
+    }
+    EXPECT_EQ(report.fleet.iterations, iteration_sum);
+    EXPECT_EQ(report.fleet.ttft.Count(), ttft_sum);
+    // Fleet makespan is the max, not the sum, of replica makespans.
+    double max_replica_makespan = 0.0;
+    for (const auto& replica : report.per_replica) {
+        max_replica_makespan =
+            std::max(max_replica_makespan, replica.makespan);
+    }
+    EXPECT_EQ(report.fleet.makespan, max_replica_makespan);
+}
+
+TEST(ClusterEngineTest, RepeatedRunsBitIdentical)
+{
+    // Run() must reset replica AND router state: a stale round-robin
+    // cursor would shift every assignment of the second run.
+    Rng rng(9);
+    auto trace =
+        serve::GenerateTrace(serve::WorkloadSpec::Internal(), 7, 0.5, rng);
+    ClusterEngine cluster(ClusterConfig::Homogeneous(BaseConfig(), 3),
+                          SarathiFactory(512),
+                          std::make_unique<RoundRobinRouter>());
+    ClusterMetricsReport first = cluster.Run(trace);
+    ClusterMetricsReport second = cluster.Run(trace);
+    EXPECT_EQ(first.fleet.makespan, second.fleet.makespan);
+    EXPECT_EQ(first.fleet.ttft.Sum(), second.fleet.ttft.Sum());
+    for (int r = 0; r < 3; ++r) {
+        EXPECT_EQ(first.utilization[static_cast<size_t>(r)]
+                      .requests_routed,
+                  second.utilization[static_cast<size_t>(r)]
+                      .requests_routed);
+    }
+}
+
+TEST(ClusterEngineDeathTest, EmptyFleetIsFatal)
+{
+    EXPECT_EXIT(ClusterConfig::Homogeneous(BaseConfig(), 0),
+                ::testing::ExitedWithCode(1), "FATAL");
+}
+
+}  // namespace
+}  // namespace pod::cluster

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the routing policies over hand-built snapshots.
+ */
+#include "cluster/router.h"
+
+#include <gtest/gtest.h>
+
+namespace pod::cluster {
+namespace {
+
+serve::ReplicaSnapshot
+Snap(int id, int outstanding, double kv_pressure,
+     long decode_tokens_pending)
+{
+    serve::ReplicaSnapshot snap;
+    snap.replica_id = id;
+    snap.outstanding = outstanding;
+    snap.kv_pressure = kv_pressure;
+    snap.decode_tokens_pending = decode_tokens_pending;
+    return snap;
+}
+
+serve::Request
+Req(int prefill_tokens)
+{
+    serve::Request request;
+    request.id = 0;
+    request.prefill_tokens = prefill_tokens;
+    request.decode_tokens = 64;
+    return request;
+}
+
+TEST(RoundRobinRouterTest, CyclesThroughReplicas)
+{
+    RoundRobinRouter router;
+    std::vector<serve::ReplicaSnapshot> replicas = {
+        Snap(0, 9, 0.9, 900), Snap(1, 0, 0.0, 0), Snap(2, 5, 0.5, 500)};
+    EXPECT_EQ(router.Route(Req(100), replicas), 0);
+    EXPECT_EQ(router.Route(Req(100), replicas), 1);
+    EXPECT_EQ(router.Route(Req(100), replicas), 2);
+    EXPECT_EQ(router.Route(Req(100), replicas), 0);
+}
+
+TEST(LeastOutstandingRouterTest, PicksShortestQueueKvPressureTies)
+{
+    LeastOutstandingRouter router;
+    std::vector<serve::ReplicaSnapshot> replicas = {
+        Snap(0, 4, 0.1, 0), Snap(1, 2, 0.9, 0), Snap(2, 2, 0.2, 0)};
+    // Queue-depth tie between 1 and 2 resolves by KV pressure.
+    EXPECT_EQ(router.Route(Req(100), replicas), 2);
+    replicas[1].kv_pressure = 0.2;  // full tie -> lowest index
+    EXPECT_EQ(router.Route(Req(100), replicas), 1);
+    replicas[2].outstanding = 1;
+    EXPECT_EQ(router.Route(Req(100), replicas), 2);
+}
+
+TEST(LeastKvPressureRouterTest, PicksLowestPressure)
+{
+    LeastKvPressureRouter router;
+    std::vector<serve::ReplicaSnapshot> replicas = {
+        Snap(0, 1, 0.8, 0), Snap(1, 9, 0.2, 0), Snap(2, 0, 0.5, 0)};
+    // Ignores request counts entirely: replica 1 has the most
+    // requests but the least reserved-KV load.
+    EXPECT_EQ(router.Route(Req(100), replicas), 1);
+}
+
+TEST(PrefillAwareRouterTest, LongPromptsAvoidDecodeHeavyReplicas)
+{
+    PrefillAwareRouter router(/*long_prompt_threshold=*/4096);
+    std::vector<serve::ReplicaSnapshot> replicas = {
+        Snap(0, 1, 0.1, 5000), Snap(1, 6, 0.6, 100),
+        Snap(2, 3, 0.3, 2000)};
+    // Long prompt: replica 1 has the least pending decode work even
+    // though its queue is deepest.
+    EXPECT_EQ(router.Route(Req(8192), replicas), 1);
+    // Short prompt: falls back to least-outstanding (replica 0).
+    EXPECT_EQ(router.Route(Req(512), replicas), 0);
+}
+
+TEST(MakeRouterTest, BuildsEveryNamedPolicy)
+{
+    for (const std::string& name : RouterNames()) {
+        auto router = MakeRouter(name);
+        ASSERT_NE(router, nullptr);
+        EXPECT_EQ(router->Name(), name);
+    }
+}
+
+TEST(MakeRouterDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(MakeRouter("random-spray"),
+                ::testing::ExitedWithCode(1), "unknown router");
+}
+
+}  // namespace
+}  // namespace pod::cluster

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "model/iteration_cost.h"
+#include "model/model_config.h"
+
 namespace pod::gpusim {
 namespace {
 
@@ -38,6 +43,71 @@ TEST(GpuSpec, BandwidthHierarchySane)
     // All SMs at their cap must be able to oversubscribe HBM, or
     // decode kernels could never saturate bandwidth.
     EXPECT_GT(spec.sm_bandwidth_cap * spec.num_sms, spec.hbm_bandwidth);
+}
+
+TEST(GpuSpec, H100Preset)
+{
+    GpuSpec spec = GpuSpec::H100Sxm80GB();
+    spec.Validate();
+    EXPECT_EQ(spec.num_sms, 132);
+    // Effective throughput below the 989 TFLOPS dense peak but well
+    // above the A100's effective number.
+    EXPECT_LT(spec.TotalTensorFlops(), 989e12);
+    EXPECT_GT(spec.TotalTensorFlops(),
+              GpuSpec::A100Sxm80GB().TotalTensorFlops() * 2.0);
+    EXPECT_LT(spec.hbm_bandwidth, 3352e9);
+    EXPECT_GT(spec.hbm_bandwidth,
+              GpuSpec::A100Sxm80GB().hbm_bandwidth * 1.5);
+    // Same bandwidth-hierarchy invariants the A100 preset obeys.
+    EXPECT_LT(spec.warp_bandwidth_cap, spec.sm_bandwidth_cap);
+    EXPECT_LT(spec.sm_bandwidth_cap, spec.hbm_bandwidth);
+    EXPECT_GT(spec.sm_bandwidth_cap * spec.num_sms, spec.hbm_bandwidth);
+}
+
+TEST(GpuSpec, RtxA6000Preset)
+{
+    GpuSpec spec = GpuSpec::RtxA6000();
+    spec.Validate();
+    EXPECT_EQ(spec.num_sms, 84);
+    // Workstation part: below the A100 on every axis that matters.
+    GpuSpec a100 = GpuSpec::A100Sxm80GB();
+    EXPECT_LT(spec.TotalTensorFlops(), a100.TotalTensorFlops());
+    EXPECT_LT(spec.hbm_bandwidth, a100.hbm_bandwidth);
+    EXPECT_LT(spec.hbm_capacity, a100.hbm_capacity);
+    EXPECT_GT(spec.hbm_capacity, 40.0 * 1024 * 1024 * 1024);
+    EXPECT_LT(spec.warp_bandwidth_cap, spec.sm_bandwidth_cap);
+    EXPECT_LT(spec.sm_bandwidth_cap, spec.hbm_bandwidth);
+    EXPECT_GT(spec.sm_bandwidth_cap * spec.num_sms, spec.hbm_bandwidth);
+}
+
+TEST(GpuSpec, IterationCostsFiniteAndOrderedAcrossSpecs)
+{
+    // The kernel simulator must produce finite, strictly ordered
+    // iteration costs across the three real presets: faster silicon
+    // => cheaper iteration, for both attention backends.
+    auto batch = kernels::HybridBatch::Make(
+        model::ModelConfig::Llama3_8B().ShapePerGpu(1), 1024, 12288, 48,
+        12288);
+    for (core::Backend backend :
+         {core::Backend::kFaSerial, core::Backend::kPod}) {
+        model::IterationCostModel h100(model::ModelConfig::Llama3_8B(),
+                                       GpuSpec::H100Sxm80GB(), 1,
+                                       backend);
+        model::IterationCostModel a100(model::ModelConfig::Llama3_8B(),
+                                       GpuSpec::A100Sxm80GB(), 1,
+                                       backend);
+        model::IterationCostModel a6000(model::ModelConfig::Llama3_8B(),
+                                        GpuSpec::RtxA6000(), 1, backend);
+        double t_h100 = h100.Cost(batch, 49).total;
+        double t_a100 = a100.Cost(batch, 49).total;
+        double t_a6000 = a6000.Cost(batch, 49).total;
+        EXPECT_TRUE(std::isfinite(t_h100));
+        EXPECT_TRUE(std::isfinite(t_a100));
+        EXPECT_TRUE(std::isfinite(t_a6000));
+        EXPECT_GT(t_h100, 0.0);
+        EXPECT_LT(t_h100, t_a100);
+        EXPECT_LT(t_a100, t_a6000);
+    }
 }
 
 TEST(GpuSpecDeathTest, ValidateRejectsNonsense)

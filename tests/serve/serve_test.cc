@@ -6,6 +6,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 
 #include "serve/engine.h"
@@ -84,6 +87,41 @@ TEST(TraceTest, GeneratedStatisticsMatchSpec)
                 spec.decode_mean * 0.15);
     // Poisson at 1 QPS: ~4000 s span.
     EXPECT_NEAR(trace.back().arrival_time, 4000.0, 400.0);
+}
+
+TEST(TraceTest, SameSeedReproducesIdenticalTrace)
+{
+    // The cluster benches compare routers on "the same" trace; that
+    // only means something if generation is bit-deterministic.
+    WorkloadSpec spec = WorkloadSpec::Internal();
+    Rng rng_a(42);
+    Rng rng_b(42);
+    auto trace_a = GenerateTrace(spec, 500, 2.0, rng_a);
+    auto trace_b = GenerateTrace(spec, 500, 2.0, rng_b);
+    ASSERT_EQ(trace_a.size(), trace_b.size());
+    for (size_t i = 0; i < trace_a.size(); ++i) {
+        EXPECT_EQ(trace_a[i].id, trace_b[i].id);
+        EXPECT_EQ(trace_a[i].arrival_time, trace_b[i].arrival_time);
+        EXPECT_EQ(trace_a[i].prefill_tokens, trace_b[i].prefill_tokens);
+        EXPECT_EQ(trace_a[i].decode_tokens, trace_b[i].decode_tokens);
+    }
+}
+
+TEST(TraceTest, DifferentSeedsChangeArrivals)
+{
+    WorkloadSpec spec = WorkloadSpec::Internal();
+    Rng rng_a(42);
+    Rng rng_b(43);
+    auto trace_a = GenerateTrace(spec, 200, 2.0, rng_a);
+    auto trace_b = GenerateTrace(spec, 200, 2.0, rng_b);
+    int differing_arrivals = 0;
+    for (size_t i = 0; i < trace_a.size(); ++i) {
+        if (trace_a[i].arrival_time != trace_b[i].arrival_time) {
+            ++differing_arrivals;
+        }
+    }
+    // Poisson gaps from distinct streams: essentially all differ.
+    EXPECT_GT(differing_arrivals, 150);
 }
 
 TEST(TraceTest, ArxivHasMoreDecodes)
@@ -279,6 +317,124 @@ TEST(ServingEngineTest, AttnCacheReused)
     // Far fewer cache entries than iterations.
     EXPECT_LT(engine.AttnCacheSize(), 400u);
     EXPECT_GT(engine.AttnCacheSize(), 0u);
+}
+
+TEST(ServingEngineTest, StepLoopBitIdenticalToRun)
+{
+    // The Step() extraction must not perturb Run(): driving an
+    // identical engine iteration-by-iteration over a fixed-seed trace
+    // reproduces Run()'s metrics bit-for-bit.
+    Rng rng(123);
+    auto trace = GenerateTrace(WorkloadSpec::Internal(), 10, 0.5, rng);
+
+    ServingEngine run_engine(SmallConfig(core::Backend::kFaSerial),
+                             std::make_unique<SarathiScheduler>(512));
+    MetricsReport run_report = run_engine.Run(trace);
+
+    ServingEngine step_engine(SmallConfig(core::Backend::kFaSerial),
+                              std::make_unique<SarathiScheduler>(512));
+    auto sorted = trace;
+    std::sort(sorted.begin(), sorted.end(), ArrivalOrder);
+    step_engine.Reset();
+    for (const auto& request : sorted) step_engine.Submit(request);
+    while (!step_engine.Done()) step_engine.Step();
+    MetricsReport step_report = step_engine.Report();
+
+    // Exact equality, not EXPECT_NEAR: both paths must execute the
+    // same float operations in the same order.
+    EXPECT_EQ(run_report.makespan, step_report.makespan);
+    EXPECT_EQ(run_report.iterations, step_report.iterations);
+    EXPECT_EQ(run_report.mean_batch_tokens, step_report.mean_batch_tokens);
+    ASSERT_EQ(run_report.ttft.Count(), step_report.ttft.Count());
+    for (size_t i = 0; i < run_report.ttft.Samples().size(); ++i) {
+        EXPECT_EQ(run_report.ttft.Samples()[i],
+                  step_report.ttft.Samples()[i]);
+    }
+    ASSERT_EQ(run_report.tbt.Count(), step_report.tbt.Count());
+    EXPECT_EQ(run_report.tbt.Sum(), step_report.tbt.Sum());
+    EXPECT_EQ(run_report.latency.Sum(), step_report.latency.Sum());
+}
+
+TEST(ServingEngineTest, SnapshotTracksQueueAndKv)
+{
+    ServingEngine engine(SmallConfig(core::Backend::kFaSerial),
+                         std::make_unique<SarathiScheduler>(512));
+    ReplicaSnapshot empty = engine.Snapshot();
+    EXPECT_EQ(empty.submitted, 0);
+    EXPECT_EQ(empty.outstanding, 0);
+    EXPECT_EQ(empty.kv_utilization, 0.0);
+    EXPECT_GT(empty.kv_total_blocks, 0);
+
+    Request request{0, 0.0, 4096, 64};
+    engine.Submit(request);
+    ReplicaSnapshot queued = engine.Snapshot();
+    EXPECT_EQ(queued.submitted, 1);
+    EXPECT_EQ(queued.waiting, 1);
+    EXPECT_EQ(queued.running, 0);
+    EXPECT_EQ(queued.outstanding, 1);
+    EXPECT_EQ(queued.prefill_tokens_pending, 4096);
+    // Not yet admitted: pressure counts the future reservation,
+    // utilization does not.
+    EXPECT_EQ(queued.kv_utilization, 0.0);
+    EXPECT_GT(queued.kv_pressure, 0.0);
+
+    StepResult first = engine.Step();
+    EXPECT_TRUE(first.progressed);
+    EXPECT_EQ(first.batch_tokens, 512);
+    ReplicaSnapshot running = engine.Snapshot();
+    EXPECT_EQ(running.waiting, 0);
+    EXPECT_EQ(running.running, 1);
+    EXPECT_GT(running.kv_utilization, 0.0);
+    EXPECT_EQ(running.prefill_tokens_pending, 4096 - 512);
+    EXPECT_EQ(running.iterations, 1);
+
+    while (!engine.Done()) engine.Step();
+    ReplicaSnapshot done = engine.Snapshot();
+    EXPECT_EQ(done.finished, 1);
+    EXPECT_EQ(done.outstanding, 0);
+    EXPECT_EQ(done.kv_utilization, 0.0);  // blocks freed
+    EXPECT_EQ(engine.NextEventTime(),
+              std::numeric_limits<double>::infinity());
+}
+
+TEST(MetricsTest, ZeroRequestRunIsFiniteZeros)
+{
+    // An idle replica in a cluster produces an empty report; nothing
+    // may divide by zero or emit NaN.
+    MetricsReport report = CollectMetrics({}, 0.0, 0, 0.0);
+    EXPECT_EQ(report.num_requests, 0);
+    EXPECT_EQ(report.requests_per_minute, 0.0);
+    EXPECT_EQ(report.mean_batch_tokens, 0.0);
+    EXPECT_EQ(report.frac_stalled_200ms, 0.0);
+    EXPECT_TRUE(std::isfinite(report.ttft.Percentile(50)));
+    EXPECT_TRUE(std::isfinite(report.ttft.Percentile(99)));
+    EXPECT_TRUE(std::isfinite(report.tbt.Percentile(99)));
+    EXPECT_TRUE(std::isfinite(report.latency.Mean()));
+    EXPECT_TRUE(std::isfinite(report.tbt.Stddev()));
+}
+
+TEST(MetricsTest, SingleRequestRunIsFinite)
+{
+    std::vector<RequestState> states(1);
+    states[0].request = Request{0, 0.0, 100, 1};
+    states[0].prefilled = 100;
+    states[0].decoded = 1;
+    states[0].finished = true;
+    states[0].first_token_time = 0.5;
+    states[0].last_token_time = 0.5;
+    states[0].finish_time = 0.5;
+    MetricsReport report = CollectMetrics(states, 0.5, 3, 101.0);
+    EXPECT_EQ(report.num_requests, 1);
+    EXPECT_TRUE(std::isfinite(report.requests_per_minute));
+    EXPECT_GT(report.requests_per_minute, 0.0);
+    // One TTFT sample, zero TBT samples: percentiles interpolate over
+    // a single point / an empty set without NaN.
+    EXPECT_EQ(report.ttft.Count(), 1u);
+    EXPECT_EQ(report.tbt.Count(), 0u);
+    EXPECT_EQ(report.ttft.Percentile(50), 0.5);
+    EXPECT_EQ(report.ttft.Percentile(99), 0.5);
+    EXPECT_TRUE(std::isfinite(report.tbt.Percentile(99)));
+    EXPECT_TRUE(std::isfinite(report.frac_stalled_200ms));
 }
 
 TEST(ServingConfigTest, KvCapacityPositiveAndScales)
