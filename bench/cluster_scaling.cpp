@@ -14,8 +14,18 @@
  *
  * `--smoke` shrinks everything to a seconds-long CI exercise of the
  * full routing loop (2 replicas, 2 policies, tiny trace).
+ *
+ * `--long-smoke` runs a 200k-request, 2-replica trace against a
+ * wall-clock budget. It exists to pin the O(active) complexity of the
+ * serving/cluster loops: with the pre-PR-3 full-state rescans
+ * (O(N^2 * R) in trace length) this trace takes ~168 s on the dev
+ * box versus ~17 s with the incremental accounting, so a regression
+ * of that class bursts the 90 s budget (the CI runs this on every
+ * push; the budget leaves ~5x headroom for slow shared runners while
+ * sitting ~2x under the regressed cost).
  */
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -94,12 +104,79 @@ AddReportRow(Table& table, int replicas,
                   Table::Pct(kv_mean), Table::Pct(kv_peak)});
 }
 
+/**
+ * The 200k-request complexity pin. Short prompts and decodes keep the
+ * per-iteration simulation work small, so wall-clock time is
+ * dominated by the loop bookkeeping this smoke exists to bound. The
+ * budget sits ~5x above the measured O(active) runtime (17 s) and
+ * ~2x under the measured cost of the old rescanning loops (168 s),
+ * so it tolerates slow shared CI runners while still failing on an
+ * O(N^2)-class regression.
+ */
+int
+RunLongSmoke()
+{
+    constexpr int kRequests = 200'000;
+    constexpr int kReplicas = 2;
+    constexpr double kBudgetSeconds = 90.0;
+
+    serve::WorkloadSpec spec;
+    spec.name = "long-smoke";
+    spec.prefill_mean = 768.0;
+    spec.prefill_stddev = 512.0;
+    spec.prefill_min = 64;
+    spec.prefill_max = 4096;
+    spec.decode_mean = 48.0;
+    spec.decode_stddev = 32.0;
+    spec.decode_min = 4;
+    spec.decode_max = 256;
+
+    Rng rng(kSeed);
+    auto trace = serve::GenerateTrace(spec, kRequests, 0.0, rng);
+
+    std::printf("Long-trace smoke: %d requests, %d replicas, least-kv "
+                "router, budget %.0f s\n",
+                kRequests, kReplicas, kBudgetSeconds);
+    auto t0 = std::chrono::steady_clock::now();
+    ClusterMetricsReport report =
+        RunFleet(trace, kReplicas, "least-kv");
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    std::printf("  completed: %d requests in %ld fleet iterations, "
+                "makespan %.1f s (sim)\n",
+                report.fleet.num_requests, report.fleet.iterations,
+                report.fleet.makespan);
+    std::printf("  attn memo cache: %ld entries, %.1f%% hit rate "
+                "(%ld hits / %ld misses)\n",
+                report.attn_cache_entries,
+                100.0 * report.AttnCacheHitRate(),
+                report.attn_cache_hits, report.attn_cache_misses);
+    std::printf("  wall clock: %.1f s (budget %.0f s)\n", elapsed,
+                kBudgetSeconds);
+    if (elapsed > kBudgetSeconds) {
+        std::printf("FAIL: long-trace smoke exceeded its wall-clock "
+                    "budget -- the O(active) cluster loop has "
+                    "regressed\n");
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
     bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    if (argc > 1 && std::strcmp(argv[1], "--long-smoke") == 0) {
+        Header("cluster_scaling --long-smoke",
+               "200k-request complexity pin for the O(active) "
+               "serving/cluster loops");
+        return RunLongSmoke();
+    }
 
     Header("cluster_scaling",
            "fleet throughput and routing-policy comparison across "

@@ -59,6 +59,16 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
     for (auto& replica : replicas_) replica.Reset();
     router_->Reset();
 
+    // Memo caches (and their lifetime hit/miss counters) survive
+    // Reset() deliberately; baseline them so the per-run report only
+    // contains this run's lookups.
+    std::vector<long> cache_hits_base(num_replicas, 0);
+    std::vector<long> cache_misses_base(num_replicas, 0);
+    for (size_t r = 0; r < num_replicas; ++r) {
+        cache_hits_base[r] = replicas_[r].AttnCacheHits();
+        cache_misses_base[r] = replicas_[r].AttnCacheMisses();
+    }
+
     std::vector<ReplicaUtilization> util(num_replicas);
     std::vector<serve::ReplicaSnapshot> snapshots(num_replicas);
     std::vector<double> kv_util_sum(num_replicas, 0.0);
@@ -67,6 +77,11 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
     constexpr double kInf = std::numeric_limits<double>::infinity();
     size_t next_arrival = 0;
 
+    // Both per-event probes below are O(1) per replica since PR 3:
+    // NextEventTime() reads the running counters and Snapshot()
+    // assembles the counter set, so the loop costs O(R) per event
+    // and O(R) per arrival instead of rescanning every submitted
+    // request -- the O(N^2 * R) behaviour the ROADMAP called out.
     while (true) {
         // Earliest actionable replica event.
         double t_step = kInf;
@@ -139,6 +154,17 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
                 ? kv_util_sum[r] /
                       static_cast<double>(kv_util_samples[r])
                 : 0.0;
+        report.utilization[r].attn_cache_entries =
+            static_cast<long>(replica.AttnCacheSize());
+        report.utilization[r].attn_cache_hits =
+            replica.AttnCacheHits() - cache_hits_base[r];
+        report.utilization[r].attn_cache_misses =
+            replica.AttnCacheMisses() - cache_misses_base[r];
+        report.attn_cache_entries +=
+            report.utilization[r].attn_cache_entries;
+        report.attn_cache_hits += report.utilization[r].attn_cache_hits;
+        report.attn_cache_misses +=
+            report.utilization[r].attn_cache_misses;
         fleet_states.insert(fleet_states.end(),
                             replica.States().begin(),
                             replica.States().end());

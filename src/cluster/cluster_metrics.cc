@@ -8,6 +8,30 @@
 
 namespace pod::cluster {
 
+namespace {
+
+double
+HitRate(long hits, long misses)
+{
+    long lookups = hits + misses;
+    if (lookups <= 0) return 0.0;
+    return static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+}  // namespace
+
+double
+ReplicaUtilization::AttnCacheHitRate() const
+{
+    return HitRate(attn_cache_hits, attn_cache_misses);
+}
+
+double
+ClusterMetricsReport::AttnCacheHitRate() const
+{
+    return HitRate(attn_cache_hits, attn_cache_misses);
+}
+
 double
 CoefficientOfVariation(const std::vector<double>& values)
 {

@@ -31,6 +31,18 @@ struct ReplicaUtilization
 
     /** Tokens the replica processed across all iterations. */
     double tokens_processed = 0.0;
+
+    // Attention memo-cache statistics (docs/DESIGN.md S5.4): each
+    // replica owns its cache, so per-replica hit rates show how much
+    // of the fleet's iteration costing was memoized vs simulated.
+    // `entries` is a gauge (cache size after the run; the cache
+    // survives Reset()); hits/misses count only this Run()'s lookups.
+    long attn_cache_entries = 0;
+    long attn_cache_hits = 0;
+    long attn_cache_misses = 0;
+
+    /** Cache hits / (hits + misses); 0 when no lookups happened. */
+    double AttnCacheHitRate() const;
 };
 
 /** Aggregate report of one cluster serving run. */
@@ -67,6 +79,15 @@ struct ClusterMetricsReport
      * does not.
      */
     double token_imbalance_cv = 0.0;
+
+    // Fleet-wide attention memo-cache rollup (sums of the per-replica
+    // counters in `utilization`).
+    long attn_cache_entries = 0;
+    long attn_cache_hits = 0;
+    long attn_cache_misses = 0;
+
+    /** Fleet cache hits / (hits + misses); 0 when no lookups. */
+    double AttnCacheHitRate() const;
 };
 
 /**

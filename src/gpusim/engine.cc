@@ -1,14 +1,47 @@
 /**
  * @file
  * Implementation of the fluid GPU execution engine.
+ *
+ * The event core is incremental (PR 3): instead of recomputing every
+ * rate from scratch at each event, the simulation tracks which SMs
+ * could have changed and reuses cached allocations everywhere else.
+ * What may be cached is dictated by the rate model itself:
+ *
+ *  - Memory rates depend only on *which* units still stream memory
+ *    (their per-unit caps are static), so each SM's bandwidth demand
+ *    is cached and recomputed only when that membership changes
+ *    (dispatch, retirement, a memory dimension draining, a phase or
+ *    refill transition).
+ *  - Compute rates are pinned to memory progress through the pacing
+ *    cap (a unit still streaming memory only *wants* the compute rate
+ *    that keeps pace with it), so any SM hosting such a coupled unit
+ *    must re-run its water-fill every event; SMs whose resident units
+ *    are all single-resource reuse the cached allocation. This is
+ *    also why a global min-heap of unit completion times cannot drive
+ *    the loop bit-identically: coupled rates drift at every event, so
+ *    completion *times* are only valid for one interval.
+ *
+ * All caching is arithmetic-preserving: a recomputation performs the
+ * exact floating-point operations of the original full rescan, in the
+ * same order, so results stay bit-identical (pinned by
+ * tests/gpusim/engine_regression_test.cc).
+ *
+ * Storage is laid out by access frequency: per-unit state touched
+ * every event lives in one compact record (UnitHot); static rate
+ * caps, completion flags and per-SM cache state live in small
+ * parallel arrays so the per-event loops never drag the wide
+ * bookkeeping structs through the cache. Phase lists live in one
+ * arena, so dispatching a unit performs no per-unit allocation.
  */
 #include "gpusim/engine.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "common/logging.h"
+#include "gpusim/water_fill.h"
 
 namespace pod::gpusim {
 
@@ -22,7 +55,79 @@ constexpr long kMaxEvents = 200'000'000;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/** Mutable execution state of one work unit. */
+/**
+ * Relative margin under which the closed-form "everyone gets their
+ * cap" shortcut for an under-subscribed water-fill is not trusted:
+ * within it, the exact sequential water-fill runs instead, so shares
+ * perturbed by summation rounding can never flip an allocation.
+ */
+constexpr double kUndersubscribedMargin = 1.0 - 1e-12;
+
+/**
+ * Safety factor for multiply-compare filters that avoid divisions:
+ * `a/b < c` is decided without dividing only when `a` clears
+ * `b * c * kFilterMargin`, which over-covers the at-most-4-ulp
+ * relative error of the product-vs-quotient comparison. Inside the
+ * band, the exact division runs, so filtered decisions are always
+ * bit-identical to dividing.
+ */
+constexpr double kFilterMargin = 1.0 + 1e-12;
+
+/**
+ * Sort (cap, unit id) pairs ascending. Keys are unique (unit ids
+ * differ), so any comparison sort yields the identical sequence;
+ * insertion sort beats std::sort at the handful-of-residents sizes
+ * the per-SM water-fill sees every event.
+ */
+inline void
+SortCaps(std::vector<std::pair<double, int>>& caps)
+{
+    if (caps.size() > 24) {
+        std::sort(caps.begin(), caps.end());
+        return;
+    }
+    for (size_t i = 1; i < caps.size(); ++i) {
+        std::pair<double, int> key = caps[i];
+        size_t j = i;
+        for (; j > 0 && key < caps[j - 1]; --j) {
+            caps[j] = caps[j - 1];
+        }
+        caps[j] = key;
+    }
+}
+
+/**
+ * Per-unit state touched every event: six doubles + bookkeeping in a
+ * packed 56-byte record. Measured faster than padding to a full
+ * 64-byte line — the per-event sweeps are bandwidth-bound, so 12%
+ * less traffic beats the occasional straddled line.
+ */
+struct UnitHot
+{
+    double rem_tensor = 0.0;
+    double rem_cuda = 0.0;
+    double rem_mem = 0.0;
+    // Rates allocated for the current interval. Rates of a drained
+    // dimension may be stale; every reader gates on rem > kDoneEps.
+    // The final memory rate is r_mem_pre * global_mem_scale_.
+    double r_tensor = 0.0;
+    double r_cuda = 0.0;
+    double r_mem_pre = 0.0;
+    /** Home SM (duplicated from UnitState for the hot loops). */
+    int sm = -1;
+    /** Op class (duplicated from UnitState for the hot loops). */
+    OpClass op = OpClass::kOther;
+};
+
+/** Static per-unit rate caps, derived once per dispatch/refill. */
+struct UnitCaps
+{
+    double tensor_cap = 0.0;
+    double cuda_cap = 0.0;
+    double mem_base = 0.0;
+};
+
+/** Per-unit bookkeeping read at transitions, not every event. */
 struct UnitState
 {
     int cta = -1;
@@ -30,42 +135,10 @@ struct UnitState
     OpClass op = OpClass::kOther;
     int warps = 4;
     double mem_bw_cap = 0.0;
-    std::vector<Phase> phases;
-    size_t phase_idx = 0;
-    double rem_tensor = 0.0;
-    double rem_cuda = 0.0;
-    double rem_mem = 0.0;
+    /** Remaining phases: arena range [phase_next, phase_end). */
+    uint32_t phase_next = 0;
+    uint32_t phase_end = 0;
     bool done = false;
-    // Rates allocated for the current interval (scratch).
-    double r_tensor = 0.0;
-    double r_cuda = 0.0;
-    double r_mem = 0.0;
-
-    /** Load phase work into the remaining counters; false if no more
-     * non-empty phases. */
-    bool
-    LoadNextPhase()
-    {
-        while (phase_idx < phases.size()) {
-            const Phase& p = phases[phase_idx];
-            ++phase_idx;
-            if (!p.Empty()) {
-                rem_tensor = p.tensor_flops;
-                rem_cuda = p.cuda_flops;
-                rem_mem = p.mem_bytes;
-                return true;
-            }
-        }
-        return false;
-    }
-
-    /** True if the current phase is fully served. */
-    bool
-    PhaseComplete() const
-    {
-        return rem_tensor <= kDoneEps && rem_cuda <= kDoneEps &&
-               rem_mem <= kDoneEps;
-    }
 };
 
 /** Mutable execution state of one CTA. */
@@ -78,7 +151,7 @@ struct CtaState
     int remaining_units = 0;
 };
 
-/** Mutable state of one SM. */
+/** Mutable state of one SM (occupancy; rate caches live in arrays). */
 struct SmState
 {
     int free_threads = 0;
@@ -111,26 +184,6 @@ struct StreamState
     size_t head = 0;
 };
 
-/**
- * Max-min fair allocation of a capacity among demands with caps.
- * @param caps (cap, unit id) pairs, sorted ascending by cap.
- * @param capacity total capacity to distribute.
- * @param set_rate callback invoked as set_rate(unit_id, allocation).
- */
-template <typename SetRate>
-void
-WaterFill(const std::vector<std::pair<double, int>>& caps, double capacity,
-          SetRate set_rate)
-{
-    size_t n = caps.size();
-    for (size_t i = 0; i < n; ++i) {
-        double share = capacity / static_cast<double>(n - i);
-        double give = std::min(caps[i].first, share);
-        set_rate(caps[i].second, give);
-        capacity -= give;
-    }
-}
-
 /** Full simulation state; one instance per FluidEngine::Run call. */
 class Simulation
 {
@@ -139,12 +192,19 @@ class Simulation
                const std::vector<KernelLaunch>& launches)
         : spec_(spec), options_(options), rng_(options.seed)
     {
-        sms_.resize(static_cast<size_t>(spec_.num_sms));
+        size_t num_sms = static_cast<size_t>(spec_.num_sms);
+        sms_.resize(num_sms);
         for (auto& sm : sms_) {
             sm.free_threads = spec_.max_threads_per_sm;
             sm.free_smem = spec_.shared_mem_per_sm;
             sm.kernel_resident.assign(launches.size(), 0);
         }
+        sm_active_count_.assign(num_sms, 0);
+        sm_mem_want_.assign(num_sms, 0.0);
+        sm_mem_dirty_.assign(num_sms, 0);
+        sm_compute_dirty_.assign(num_sms, 0);
+        sm_coupled_.assign(num_sms, 0);
+
         kernels_.reserve(launches.size());
         int max_stream = 0;
         for (const auto& launch : launches) {
@@ -186,6 +246,7 @@ class Simulation
             // Empty kernel: completes as soon as it becomes ready.
             ks.started = true;
             ks.finished = true;
+            ++finished_kernels_;
             ks.start_time = ks.ready_time;
             ks.end_time = ks.ready_time;
             ++stream.head;
@@ -239,6 +300,62 @@ class Simulation
         return chosen;
     }
 
+    /**
+     * Load phase work into the unit's remaining counters; false if no
+     * more non-empty phases.
+     */
+    bool
+    LoadNextPhase(UnitState& u, UnitHot& h)
+    {
+        while (u.phase_next < u.phase_end) {
+            const Phase& p = phase_arena_[u.phase_next];
+            ++u.phase_next;
+            if (!p.Empty()) {
+                h.rem_tensor = p.tensor_flops;
+                h.rem_cuda = p.cuda_flops;
+                h.rem_mem = p.mem_bytes;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Append a work list's phases to the arena; returns the range. */
+    std::pair<uint32_t, uint32_t>
+    StorePhases(const std::vector<Phase>& phases)
+    {
+        uint32_t begin = static_cast<uint32_t>(phase_arena_.size());
+        phase_arena_.insert(phase_arena_.end(), phases.begin(),
+                            phases.end());
+        return {begin, static_cast<uint32_t>(phase_arena_.size())};
+    }
+
+    /** Derive the static per-unit rate caps from warps and the spec. */
+    void
+    SetStaticCaps(const UnitState& u, UnitCaps& caps) const
+    {
+        caps.tensor_cap =
+            spec_.tensor_flops_per_sm *
+            std::min(1.0, static_cast<double>(u.warps) /
+                              spec_.warps_per_tensor_saturation);
+        caps.cuda_cap =
+            spec_.cuda_flops_per_sm *
+            std::min(1.0, static_cast<double>(u.warps) /
+                              spec_.warps_per_cuda_saturation);
+        caps.mem_base = u.mem_bw_cap > 0.0
+                            ? u.mem_bw_cap
+                            : static_cast<double>(u.warps) *
+                                  spec_.warp_bandwidth_cap;
+    }
+
+    /** Mark an SM's cached rates stale after a membership change. */
+    void
+    MarkDirty(int sm_id)
+    {
+        sm_mem_dirty_[static_cast<size_t>(sm_id)] = 1;
+        sm_compute_dirty_[static_cast<size_t>(sm_id)] = 1;
+    }
+
     /** Place one CTA of the kernel; false if no SM has room. */
     bool
     DispatchOne(int kernel_id, double now)
@@ -274,24 +391,35 @@ class Simulation
 
         for (auto& unit : work.units) {
             UnitState us;
+            UnitHot hot;
+            UnitCaps caps;
             us.cta = cta_id;
             us.sm = sm_id;
             us.op = unit.op;
             us.warps = std::max(1, unit.warps);
             us.mem_bw_cap = unit.mem_bw_cap;
-            us.phases = std::move(unit.phases);
+            std::tie(us.phase_next, us.phase_end) =
+                StorePhases(unit.phases);
+            SetStaticCaps(us, caps);
+            hot.sm = sm_id;
+            hot.op = us.op;
             result_.per_op[static_cast<size_t>(us.op)].unit_count += 1;
-            if (!us.LoadNextPhase()) {
+            if (!LoadNextPhase(us, hot)) {
                 // Unit with no work: completes immediately.
                 continue;
             }
             int unit_id = static_cast<int>(units_.size());
-            units_.push_back(std::move(us));
+            units_.push_back(us);
+            hot_.push_back(hot);
+            unit_caps_.push_back(caps);
+            phase_done_.push_back(0);
             active_units_.push_back(unit_id);
             sms_[static_cast<size_t>(sm_id)].active_units.push_back(unit_id);
+            sm_active_count_[static_cast<size_t>(sm_id)] += 1;
             ctas_[static_cast<size_t>(cta_id)].remaining_units += 1;
-            op_active_[static_cast<size_t>(units_.back().op)] += 1;
+            op_active_[static_cast<size_t>(us.op)] += 1;
         }
+        MarkDirty(sm_id);
 
         if (ctas_[static_cast<size_t>(cta_id)].remaining_units == 0) {
             // CTA carried no work at all; retire it on the spot.
@@ -337,6 +465,7 @@ class Simulation
         ks.completed_ctas += 1;
         if (ks.completed_ctas == ks.desc->cta_count) {
             ks.finished = true;
+            ++finished_kernels_;
             ks.end_time = now;
             StreamState& stream = streams_[static_cast<size_t>(ks.stream)];
             // The finished kernel must be the stream head.
@@ -346,10 +475,10 @@ class Simulation
         }
     }
 
-    /** Compute resource rates for all active units (water-filling). */
-    void ComputeRates();
+    /** Refresh resource rates, recomputing only what could change. */
+    void RefreshRates();
 
-    /** Earliest completion time delta at current rates (may be inf). */
+    /** Earliest completion delta at current rates (may be inf). */
     double NextEventDelta() const;
 
     /** Earliest pending kernel ready time (absolute; may be inf). */
@@ -384,9 +513,34 @@ class Simulation
     std::vector<StreamState> streams_;
     std::vector<CtaState> ctas_;
     std::vector<UnitState> units_;
+    std::vector<UnitHot> hot_;
+    std::vector<UnitCaps> unit_caps_;
+    /** 1 when the unit's current phase fully drained (see Advance). */
+    std::vector<uint8_t> phase_done_;
     std::vector<int> active_units_;
+    /** Arena backing every unit's phase list (grows per dispatch). */
+    std::vector<Phase> phase_arena_;
     int rr_pointer_ = 0;
     int total_ctas_ = 0;
+    size_t finished_kernels_ = 0;
+
+    // ---- per-SM incremental rate-cache state (parallel to sms_,
+    // kept in flat arrays so per-event sweeps stay in-cache) ----
+    std::vector<int> sm_active_count_;
+    std::vector<double> sm_mem_want_;
+    std::vector<uint8_t> sm_mem_dirty_;
+    std::vector<uint8_t> sm_compute_dirty_;
+    std::vector<int> sm_coupled_;
+
+    /** Global HBM scale factor for the current interval. */
+    double global_mem_scale_ = 1.0;
+
+    /** Units whose phase drained in the last Advance. */
+    int completions_pending_ = 0;
+
+    // Reused per-SM water-fill scratch (cleared, never reallocated).
+    std::vector<std::pair<double, int>> tensor_caps_;
+    std::vector<std::pair<double, int>> cuda_caps_;
 
     /** Active unit count per op class (for busy-time accounting). */
     std::array<int, kNumOpClasses> op_active_ = {};
@@ -401,48 +555,46 @@ class Simulation
 };
 
 void
-Simulation::ComputeRates()
+Simulation::RefreshRates()
 {
-    // Reset rates.
-    for (int uid : active_units_) {
-        UnitState& u = units_[static_cast<size_t>(uid)];
-        u.r_tensor = 0.0;
-        u.r_cuda = 0.0;
-        u.r_mem = 0.0;
-    }
+    const size_t num_sms = sms_.size();
 
     // --- memory bandwidth first: per-warp cap, per-SM cap, global
     // cap. Compute allocation below is demand-aware and needs the
-    // memory rates. ---
+    // memory rates. Per-SM demands are cached; only SMs whose memory
+    // demand set changed recompute, and the global sum re-accumulates
+    // cached wants in SM order (bit-identical to the full rescan). ---
     double global_want = 0.0;
-    for (auto& sm : sms_) {
-        if (sm.active_units.empty()) continue;
-        double sm_want = 0.0;
-        for (int uid : sm.active_units) {
-            UnitState& u = units_[static_cast<size_t>(uid)];
-            if (u.rem_mem > kDoneEps) {
-                u.r_mem = u.mem_bw_cap > 0.0
-                              ? u.mem_bw_cap
-                              : static_cast<double>(u.warps) *
-                                    spec_.warp_bandwidth_cap;
-                sm_want += u.r_mem;
-            }
-        }
-        if (sm_want > spec_.sm_bandwidth_cap) {
-            double scale = spec_.sm_bandwidth_cap / sm_want;
+    for (size_t s = 0; s < num_sms; ++s) {
+        if (sm_active_count_[s] == 0) continue;
+        if (sm_mem_dirty_[s]) {
+            sm_mem_dirty_[s] = 0;
+            const SmState& sm = sms_[s];
+            double sm_want = 0.0;
             for (int uid : sm.active_units) {
-                units_[static_cast<size_t>(uid)].r_mem *= scale;
+                UnitHot& h = hot_[static_cast<size_t>(uid)];
+                if (h.rem_mem > kDoneEps) {
+                    h.r_mem_pre =
+                        unit_caps_[static_cast<size_t>(uid)].mem_base;
+                    sm_want += h.r_mem_pre;
+                } else {
+                    h.r_mem_pre = 0.0;
+                }
             }
-            sm_want = spec_.sm_bandwidth_cap;
+            if (sm_want > spec_.sm_bandwidth_cap) {
+                double scale = spec_.sm_bandwidth_cap / sm_want;
+                for (int uid : sm.active_units) {
+                    hot_[static_cast<size_t>(uid)].r_mem_pre *= scale;
+                }
+                sm_want = spec_.sm_bandwidth_cap;
+            }
+            sm_mem_want_[s] = sm_want;
         }
-        global_want += sm_want;
+        global_want += sm_mem_want_[s];
     }
-    if (global_want > spec_.hbm_bandwidth) {
-        double scale = spec_.hbm_bandwidth / global_want;
-        for (int uid : active_units_) {
-            units_[static_cast<size_t>(uid)].r_mem *= scale;
-        }
-    }
+    global_mem_scale_ = global_want > spec_.hbm_bandwidth
+                            ? spec_.hbm_bandwidth / global_want
+                            : 1.0;
 
     // --- per-SM compute allocation (tensor + CUDA cores) ---
     // Demand-aware: a unit that is still streaming memory in this
@@ -451,57 +603,75 @@ Simulation::ComputeRates()
     // compute-bound units want their full cap. Max-min water-fill
     // over those wants lets prefill soak the tensor cores while
     // co-located decode sips them -- the behaviour POD relies on.
-    std::vector<std::pair<double, int>> caps;
-    for (auto& sm : sms_) {
-        if (sm.active_units.empty()) continue;
+    // SMs with no coupled unit and no membership change keep the
+    // cached allocation.
+    for (size_t s = 0; s < num_sms; ++s) {
+        if (sm_active_count_[s] == 0) continue;
+        if (!sm_compute_dirty_[s] && sm_coupled_[s] == 0) continue;
+        sm_compute_dirty_[s] = 0;
 
-        // Tensor cores.
-        caps.clear();
-        for (int uid : sm.active_units) {
-            UnitState& u = units_[static_cast<size_t>(uid)];
-            if (u.rem_tensor > kDoneEps) {
-                double cap =
-                    spec_.tensor_flops_per_sm *
-                    std::min(1.0, static_cast<double>(u.warps) /
-                                      spec_.warps_per_tensor_saturation);
-                if (u.rem_mem > kDoneEps && u.r_mem > 0.0) {
-                    double paced =
-                        1.1 * u.rem_tensor * u.r_mem / u.rem_mem;
-                    cap = std::min(cap, paced);
+        // One pass builds both demand lists (tensor + CUDA).
+        tensor_caps_.clear();
+        cuda_caps_.clear();
+        double tensor_sum = 0.0;
+        double cuda_sum = 0.0;
+        for (int uid : sms_[s].active_units) {
+            const UnitCaps& c = unit_caps_[static_cast<size_t>(uid)];
+            UnitHot& h = hot_[static_cast<size_t>(uid)];
+            double r_mem = h.r_mem_pre * global_mem_scale_;
+            bool paced = h.rem_mem > kDoneEps && r_mem > 0.0;
+            if (h.rem_tensor > kDoneEps) {
+                double cap = c.tensor_cap;
+                if (paced) {
+                    cap = std::min(
+                        cap, 1.1 * h.rem_tensor * r_mem / h.rem_mem);
                 }
-                caps.emplace_back(cap, uid);
+                tensor_caps_.emplace_back(cap, uid);
+                tensor_sum += cap;
+            }
+            if (h.rem_cuda > kDoneEps) {
+                double cap = c.cuda_cap;
+                if (paced) {
+                    cap = std::min(cap,
+                                   1.1 * h.rem_cuda * r_mem / h.rem_mem);
+                }
+                cuda_caps_.emplace_back(cap, uid);
+                cuda_sum += cap;
             }
         }
-        if (!caps.empty()) {
-            std::sort(caps.begin(), caps.end());
-            WaterFill(caps, spec_.tensor_flops_per_sm,
-                      [this](int uid, double rate) {
-                          units_[static_cast<size_t>(uid)].r_tensor = rate;
-                      });
-        }
-
-        // CUDA cores.
-        caps.clear();
-        for (int uid : sm.active_units) {
-            UnitState& u = units_[static_cast<size_t>(uid)];
-            if (u.rem_cuda > kDoneEps) {
-                double cap =
-                    spec_.cuda_flops_per_sm *
-                    std::min(1.0, static_cast<double>(u.warps) /
-                                      spec_.warps_per_cuda_saturation);
-                if (u.rem_mem > kDoneEps && u.r_mem > 0.0) {
-                    double paced = 1.1 * u.rem_cuda * u.r_mem / u.rem_mem;
-                    cap = std::min(cap, paced);
+        // Under-subscribed (with margin): every demand receives its
+        // cap, exactly what the sequential water-fill would compute
+        // -- skip the sort. Near or above capacity, run the exact
+        // sorted water-fill.
+        if (!tensor_caps_.empty()) {
+            if (tensor_sum <=
+                spec_.tensor_flops_per_sm * kUndersubscribedMargin) {
+                for (const auto& [cap, uid] : tensor_caps_) {
+                    hot_[static_cast<size_t>(uid)].r_tensor = cap;
                 }
-                caps.emplace_back(cap, uid);
+            } else {
+                SortCaps(tensor_caps_);
+                WaterFill(tensor_caps_, spec_.tensor_flops_per_sm,
+                          [this](int uid, double rate) {
+                              hot_[static_cast<size_t>(uid)].r_tensor =
+                                  rate;
+                          });
             }
         }
-        if (!caps.empty()) {
-            std::sort(caps.begin(), caps.end());
-            WaterFill(caps, spec_.cuda_flops_per_sm,
-                      [this](int uid, double rate) {
-                          units_[static_cast<size_t>(uid)].r_cuda = rate;
-                      });
+        if (!cuda_caps_.empty()) {
+            if (cuda_sum <=
+                spec_.cuda_flops_per_sm * kUndersubscribedMargin) {
+                for (const auto& [cap, uid] : cuda_caps_) {
+                    hot_[static_cast<size_t>(uid)].r_cuda = cap;
+                }
+            } else {
+                SortCaps(cuda_caps_);
+                WaterFill(cuda_caps_, spec_.cuda_flops_per_sm,
+                          [this](int uid, double rate) {
+                              hot_[static_cast<size_t>(uid)].r_cuda =
+                                  rate;
+                          });
+            }
         }
     }
 }
@@ -509,49 +679,111 @@ Simulation::ComputeRates()
 double
 Simulation::NextEventDelta() const
 {
-    double dt = kInf;
+    const double gscale = global_mem_scale_;
+    // Two independent partial minima hide the FP-min latency chain;
+    // min over doubles is exactly associative, so any grouping yields
+    // the bit-identical result. Each candidate rem/r can lower the
+    // minimum only if rem < dt*r; the filter margin over-covers the
+    // comparison's rounding, so a division runs only for candidates
+    // that may actually set the minimum -- the returned dt is the
+    // bit-identical min of exact quotients.
+    double dt_a = kInf;
+    double dt_b = kInf;
     for (int uid : active_units_) {
-        const UnitState& u = units_[static_cast<size_t>(uid)];
-        if (u.rem_tensor > kDoneEps && u.r_tensor > 0.0) {
-            dt = std::min(dt, u.rem_tensor / u.r_tensor);
+        const UnitHot& h = hot_[static_cast<size_t>(uid)];
+        if (h.rem_tensor > kDoneEps && h.r_tensor > 0.0 &&
+            h.rem_tensor < dt_a * h.r_tensor * kFilterMargin) {
+            dt_a = std::min(dt_a, h.rem_tensor / h.r_tensor);
         }
-        if (u.rem_cuda > kDoneEps && u.r_cuda > 0.0) {
-            dt = std::min(dt, u.rem_cuda / u.r_cuda);
+        if (h.rem_cuda > kDoneEps && h.r_cuda > 0.0 &&
+            h.rem_cuda < dt_b * h.r_cuda * kFilterMargin) {
+            dt_b = std::min(dt_b, h.rem_cuda / h.r_cuda);
         }
-        if (u.rem_mem > kDoneEps && u.r_mem > 0.0) {
-            dt = std::min(dt, u.rem_mem / u.r_mem);
+        if (h.rem_mem > kDoneEps) {
+            double r_mem = h.r_mem_pre * gscale;
+            if (r_mem > 0.0 &&
+                h.rem_mem < dt_a * r_mem * kFilterMargin) {
+                dt_a = std::min(dt_a, h.rem_mem / r_mem);
+            }
         }
     }
-    return dt;
+    return std::min(dt_a, dt_b);
 }
 
 void
 Simulation::Advance(double dt)
 {
+    std::fill(sm_coupled_.begin(), sm_coupled_.end(), 0);
+    const double gscale = global_mem_scale_;
+
     double rate_tensor = 0.0;
     double rate_cuda = 0.0;
     double rate_mem = 0.0;
+    int pending = 0;
+    // Local per-op accumulators keep the (order-pinned) accounting
+    // adds in registers instead of store-forwarding through result_.
+    double acc_tensor[kNumOpClasses];
+    double acc_cuda[kNumOpClasses];
+    double acc_mem[kNumOpClasses];
+    for (int op = 0; op < kNumOpClasses; ++op) {
+        const auto& stats = result_.per_op[static_cast<size_t>(op)];
+        acc_tensor[op] = stats.tensor_flops;
+        acc_cuda[op] = stats.cuda_flops;
+        acc_mem[op] = stats.mem_bytes;
+    }
     for (int uid : active_units_) {
-        UnitState& u = units_[static_cast<size_t>(uid)];
-        auto& op = result_.per_op[static_cast<size_t>(u.op)];
-        if (u.rem_tensor > kDoneEps) {
-            double amount = u.r_tensor * dt;
-            u.rem_tensor -= amount;
-            op.tensor_flops += amount;
-            rate_tensor += u.r_tensor;
+        UnitHot& h = hot_[static_cast<size_t>(uid)];
+        const size_t opi = static_cast<size_t>(h.op);
+        const bool had_tensor = h.rem_tensor > kDoneEps;
+        const bool had_cuda = h.rem_cuda > kDoneEps;
+        const bool had_mem = h.rem_mem > kDoneEps;
+        if (had_tensor) {
+            double amount = h.r_tensor * dt;
+            h.rem_tensor -= amount;
+            acc_tensor[opi] += amount;
+            rate_tensor += h.r_tensor;
         }
-        if (u.rem_cuda > kDoneEps) {
-            double amount = u.r_cuda * dt;
-            u.rem_cuda -= amount;
-            op.cuda_flops += amount;
-            rate_cuda += u.r_cuda;
+        if (had_cuda) {
+            double amount = h.r_cuda * dt;
+            h.rem_cuda -= amount;
+            acc_cuda[opi] += amount;
+            rate_cuda += h.r_cuda;
         }
-        if (u.rem_mem > kDoneEps) {
-            double amount = u.r_mem * dt;
-            u.rem_mem -= amount;
-            op.mem_bytes += amount;
-            rate_mem += u.r_mem;
+        if (had_mem) {
+            double r_mem = h.r_mem_pre * gscale;
+            double amount = r_mem * dt;
+            h.rem_mem -= amount;
+            acc_mem[opi] += amount;
+            rate_mem += r_mem;
         }
+
+        // Post-advance bookkeeping for the incremental rate cache:
+        // a drained dimension changes the SM's demand sets, and a
+        // still-coupled unit keeps its SM's water-fill live.
+        const bool has_tensor = h.rem_tensor > kDoneEps;
+        const bool has_cuda = h.rem_cuda > kDoneEps;
+        const bool has_mem = h.rem_mem > kDoneEps;
+        const size_t s = static_cast<size_t>(h.sm);
+        sm_mem_dirty_[s] |=
+            static_cast<uint8_t>(had_mem && !has_mem);
+        sm_compute_dirty_[s] |=
+            static_cast<uint8_t>(had_tensor != has_tensor ||
+                                 had_cuda != has_cuda ||
+                                 had_mem != has_mem);
+        sm_coupled_[s] +=
+            static_cast<int>(has_mem && (has_tensor || has_cuda));
+        const int done =
+            static_cast<int>(!has_tensor && !has_cuda && !has_mem);
+        phase_done_[static_cast<size_t>(uid)] =
+            static_cast<uint8_t>(done);
+        pending += done;
+    }
+    completions_pending_ = pending;
+    for (int op = 0; op < kNumOpClasses; ++op) {
+        auto& stats = result_.per_op[static_cast<size_t>(op)];
+        stats.tensor_flops = acc_tensor[op];
+        stats.cuda_flops = acc_cuda[op];
+        stats.mem_bytes = acc_mem[op];
     }
     served_tensor_ += rate_tensor * dt;
     served_cuda_ += rate_cuda * dt;
@@ -575,14 +807,20 @@ Simulation::Advance(double dt)
 void
 Simulation::ProcessCompletions(double now)
 {
+    if (completions_pending_ == 0) return;
     for (size_t i = 0; i < active_units_.size();) {
         int uid = active_units_[i];
-        UnitState& u = units_[static_cast<size_t>(uid)];
-        if (!u.PhaseComplete()) {
+        if (!phase_done_[static_cast<size_t>(uid)]) {
             ++i;
             continue;
         }
-        if (u.LoadNextPhase()) {
+        UnitState& u = units_[static_cast<size_t>(uid)];
+        UnitHot& h = hot_[static_cast<size_t>(uid)];
+        if (LoadNextPhase(u, h)) {
+            // New phase, new demands: the SM's cached rates are stale.
+            // The stale done-flag is rewritten by the next Advance
+            // before ProcessCompletions reads it again.
+            MarkDirty(u.sm);
             ++i;
             continue;
         }
@@ -602,11 +840,14 @@ Simulation::ProcessCompletions(double now)
                 u.op = next.op;
                 u.warps = std::max(1, next.warps);
                 u.mem_bw_cap = next.mem_bw_cap;
-                u.phases = std::move(next.phases);
-                u.phase_idx = 0;
+                h.op = next.op;
+                std::tie(u.phase_next, u.phase_end) =
+                    StorePhases(next.phases);
+                SetStaticCaps(u, unit_caps_[static_cast<size_t>(uid)]);
                 result_.per_op[static_cast<size_t>(u.op)].unit_count += 1;
                 op_active_[static_cast<size_t>(u.op)] += 1;
-                if (u.LoadNextPhase()) {
+                MarkDirty(u.sm);
+                if (LoadNextPhase(u, h)) {
                     ++i;
                     continue;
                 }
@@ -625,6 +866,8 @@ Simulation::ProcessCompletions(double now)
         POD_ASSERT(it != sm_units.end());
         *it = sm_units.back();
         sm_units.pop_back();
+        sm_active_count_[static_cast<size_t>(u.sm)] -= 1;
+        MarkDirty(u.sm);
 
         // Remove from the global active list (swap-erase).
         active_units_[i] = active_units_.back();
@@ -645,16 +888,7 @@ Simulation::Run()
     long events = 0;
 
     DispatchAll(now);
-    while (true) {
-        bool all_done = true;
-        for (const auto& ks : kernels_) {
-            if (!ks.finished) {
-                all_done = false;
-                break;
-            }
-        }
-        if (all_done) break;
-
+    while (finished_kernels_ < kernels_.size()) {
         POD_ASSERT_MSG(++events < kMaxEvents,
                        "simulation exceeded %ld events", kMaxEvents);
 
@@ -668,7 +902,7 @@ Simulation::Run()
             continue;
         }
 
-        ComputeRates();
+        RefreshRates();
         double dt = NextEventDelta();
         POD_ASSERT_MSG(dt < kInf,
                        "starvation: active units with zero rates at t=%g",

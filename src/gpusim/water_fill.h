@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Max-min fair (water-filling) allocation, the rate-sharing primitive
+ * of the fluid engine. Exposed in its own header so the fairness
+ * edge cases (zero demands, capacity exhaustion, equal caps) are
+ * directly testable instead of only through full simulations.
+ */
+#ifndef POD_GPUSIM_WATER_FILL_H
+#define POD_GPUSIM_WATER_FILL_H
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pod::gpusim {
+
+/**
+ * Max-min fair allocation of a capacity among demands with caps.
+ *
+ * Walking the caps in ascending order, each demand receives
+ * min(cap, remaining / demands_left): a demand smaller than the fair
+ * share is fully served and its slack raises everyone else's share; a
+ * demand at or above the share is clipped to it.
+ *
+ * @param caps (cap, unit id) pairs, sorted ascending by cap.
+ * @param capacity total capacity to distribute.
+ * @param set_rate callback invoked as set_rate(unit_id, allocation).
+ */
+template <typename SetRate>
+void
+WaterFill(const std::vector<std::pair<double, int>>& caps, double capacity,
+          SetRate set_rate)
+{
+    std::size_t n = caps.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        double share = capacity / static_cast<double>(n - i);
+        double give = std::min(caps[i].first, share);
+        set_rate(caps[i].second, give);
+        capacity -= give;
+    }
+}
+
+}  // namespace pod::gpusim
+
+#endif  // POD_GPUSIM_WATER_FILL_H

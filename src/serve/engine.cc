@@ -1,6 +1,20 @@
 /**
  * @file
  * Implementation of the serving engine.
+ *
+ * The incremental accounting invariants (PR 3):
+ *  - `unadmitted_` holds state indices of never-admitted requests in
+ *    submission (= arrival) order. The FCFS admission scan admits a
+ *    consecutive prefix (head-of-line blocking stops it), and an
+ *    unadmitted request can never finish, so the queue only ever pops
+ *    at `unadmitted_head_`.
+ *  - `arrived_mark_` splits the queue into arrived (<= now) and
+ *    future entries; the clock is monotonic, so it only moves forward.
+ *  - Token/block counters are integer sums updated at transitions
+ *    (Submit, admission, chunk/decode progress, finish), so the O(1)
+ *    Snapshot() is exactly the value the old full scan computed.
+ * Every invariant is pinned by the bit-identical regression tests in
+ * tests/serve/serve_regression_test.cc.
  */
 #include "serve/engine.h"
 
@@ -69,7 +83,11 @@ ServingEngine::CachedAttnLayerTime(int chunk_len, int kv_len,
                    (static_cast<uint64_t>(static_cast<uint32_t>(ctx)) *
                     0x9E3779B97F4A7C15ull);
     auto it = attn_cache_.find(key);
-    if (it != attn_cache_.end()) return it->second;
+    if (it != attn_cache_.end()) {
+        ++attn_cache_hits_;
+        return it->second;
+    }
+    ++attn_cache_misses_;
 
     kernels::HybridBatch batch;
     batch.shape = config_.model.ShapePerGpu(config_.tensor_parallel);
@@ -155,6 +173,14 @@ ServingEngine::Reset()
     iterations_ = 0;
     total_batch_tokens_ = 0.0;
     finished_ = 0;
+    active_begin_ = 0;
+    unadmitted_.clear();
+    unadmitted_head_ = 0;
+    arrived_mark_ = 0;
+    running_ = 0;
+    prefill_tokens_pending_ = 0;
+    decode_tokens_pending_ = 0;
+    pending_unadmitted_blocks_ = 0;
     long kv_tokens = config_.KvTokenCapacity();
     kv_ = std::make_unique<BlockKvManager>(
         std::max<long>(1, kv_tokens / config_.kv_block_size),
@@ -174,6 +200,41 @@ ServingEngine::Submit(const Request& request)
     RequestState state;
     state.request = request;
     states_.push_back(state);
+
+    unadmitted_.push_back(static_cast<int>(states_.size()) - 1);
+    prefill_tokens_pending_ += request.prefill_tokens;
+    pending_unadmitted_blocks_ +=
+        kv_->BlocksFor(request.prefill_tokens + request.decode_tokens);
+    SyncArrivals();
+}
+
+void
+ServingEngine::SyncArrivals()
+{
+    while (arrived_mark_ < unadmitted_.size() &&
+           states_[static_cast<size_t>(unadmitted_[arrived_mark_])]
+                   .request.arrival_time <= now_) {
+        ++arrived_mark_;
+    }
+}
+
+void
+ServingEngine::SyncAdmissions()
+{
+    while (unadmitted_head_ < unadmitted_.size() &&
+           states_[static_cast<size_t>(unadmitted_[unadmitted_head_])]
+               .admitted) {
+        const RequestState& state =
+            states_[static_cast<size_t>(unadmitted_[unadmitted_head_])];
+        ++running_;
+        decode_tokens_pending_ += state.request.decode_tokens;
+        pending_unadmitted_blocks_ -=
+            kv_->BlocksFor(state.request.prefill_tokens +
+                           state.request.decode_tokens);
+        ++unadmitted_head_;
+    }
+    // Admission never outruns arrival (FCFS stops at future requests).
+    if (arrived_mark_ < unadmitted_head_) arrived_mark_ = unadmitted_head_;
 }
 
 StepResult
@@ -183,22 +244,18 @@ ServingEngine::Step()
     StepResult result;
     result.start = now_;
 
-    ScheduledBatch batch = scheduler_->Next(now_, states_, *kv_);
+    ScheduledBatch batch =
+        scheduler_->Next(now_, states_, *kv_, active_begin_);
+    SyncAdmissions();
     if (batch.Empty()) {
-        // Nothing runnable: jump to the next arrival.
-        double next_arrival = std::numeric_limits<double>::infinity();
-        for (const auto& state : states_) {
-            if (!state.finished && !state.admitted &&
-                state.request.arrival_time > now_) {
-                next_arrival = std::min(next_arrival,
-                                        state.request.arrival_time);
-            }
-        }
-        POD_ASSERT_MSG(next_arrival <
-                           std::numeric_limits<double>::infinity(),
+        // Nothing runnable: jump to the next queued arrival (the
+        // first unadmitted entry beyond the arrived mark).
+        POD_ASSERT_MSG(arrived_mark_ < unadmitted_.size(),
                        "scheduler stuck with %zu unfinished requests",
                        states_.size() - finished_);
-        now_ = next_arrival;
+        now_ = states_[static_cast<size_t>(unadmitted_[arrived_mark_])]
+                   .request.arrival_time;
+        SyncArrivals();
         result.kv_utilization = kv_->Utilization();
         return result;
     }
@@ -212,10 +269,12 @@ ServingEngine::Step()
     for (const auto& p : batch.prefills) {
         RequestState& state = states_[static_cast<size_t>(p.req_index)];
         state.prefilled += p.chunk_len;
+        prefill_tokens_pending_ -= p.chunk_len;
         POD_ASSERT(state.prefilled <= state.request.prefill_tokens);
         if (state.PrefillDone()) {
             // The completing iteration emits the first token.
             state.decoded = 1;
+            decode_tokens_pending_ -= 1;
             state.first_token_time = now_;
             state.last_token_time = now_;
             if (state.decoded >= state.request.decode_tokens) {
@@ -223,6 +282,7 @@ ServingEngine::Step()
                 state.finish_time = now_;
                 kv_->Free(state.request.id);
                 ++finished_;
+                --running_;
                 ++result.completed;
             }
         }
@@ -232,6 +292,7 @@ ServingEngine::Step()
     for (int idx : batch.decodes) {
         RequestState& state = states_[static_cast<size_t>(idx)];
         state.decoded += 1;
+        decode_tokens_pending_ -= 1;
         state.tbt.push_back(now_ - state.last_token_time);
         state.last_token_time = now_;
         if (state.decoded >= state.request.decode_tokens) {
@@ -239,9 +300,17 @@ ServingEngine::Step()
             state.finish_time = now_;
             kv_->Free(state.request.id);
             ++finished_;
+            --running_;
             ++result.completed;
         }
     }
+
+    // Maintain the finished-prefix index and the arrived mark.
+    while (active_begin_ < states_.size() &&
+           states_[active_begin_].finished) {
+        ++active_begin_;
+    }
+    SyncArrivals();
 
     result.progressed = true;
     result.duration = dt;
@@ -253,15 +322,13 @@ ServingEngine::Step()
 double
 ServingEngine::NextEventTime() const
 {
-    double next = std::numeric_limits<double>::infinity();
-    for (const auto& state : states_) {
-        if (state.finished) continue;
-        if (state.admitted || state.request.arrival_time <= now_) {
-            return now_;
-        }
-        next = std::min(next, state.request.arrival_time);
+    if (running_ > 0) return now_;
+    if (arrived_mark_ > unadmitted_head_) return now_;  // waiting work
+    if (arrived_mark_ < unadmitted_.size()) {
+        return states_[static_cast<size_t>(unadmitted_[arrived_mark_])]
+            .request.arrival_time;
     }
-    return next;
+    return std::numeric_limits<double>::infinity();
 }
 
 ReplicaSnapshot
@@ -274,22 +341,10 @@ ServingEngine::Snapshot() const
     snap.submitted = static_cast<int>(states_.size());
     snap.finished = static_cast<int>(finished_);
     snap.outstanding = snap.submitted - snap.finished;
-    long pending_unadmitted_blocks = 0;
-    for (const auto& state : states_) {
-        if (state.finished) continue;
-        if (state.admitted) {
-            ++snap.running;
-            snap.decode_tokens_pending +=
-                state.request.decode_tokens - state.decoded;
-        } else {
-            if (state.request.arrival_time <= now_) ++snap.waiting;
-            pending_unadmitted_blocks +=
-                kv_->BlocksFor(state.request.prefill_tokens +
-                               state.request.decode_tokens);
-        }
-        snap.prefill_tokens_pending +=
-            state.request.prefill_tokens - state.prefilled;
-    }
+    snap.waiting = static_cast<int>(arrived_mark_ - unadmitted_head_);
+    snap.running = running_;
+    snap.prefill_tokens_pending = prefill_tokens_pending_;
+    snap.decode_tokens_pending = decode_tokens_pending_;
     snap.iterations = iterations_;
     snap.kv_utilization = kv_->Utilization();
     snap.kv_free_blocks = kv_->FreeBlocks();
@@ -297,9 +352,12 @@ ServingEngine::Snapshot() const
     if (kv_->TotalBlocks() > 0) {
         snap.kv_pressure =
             snap.kv_utilization +
-            static_cast<double>(pending_unadmitted_blocks) /
+            static_cast<double>(pending_unadmitted_blocks_) /
                 static_cast<double>(kv_->TotalBlocks());
     }
+    snap.attn_cache_entries = static_cast<long>(attn_cache_.size());
+    snap.attn_cache_hits = attn_cache_hits_;
+    snap.attn_cache_misses = attn_cache_misses_;
     return snap;
 }
 

@@ -9,6 +9,13 @@
  * (FA kernels for the vLLM/Sarathi baselines, the fused kernel for
  * Sarathi+POD), memoized over bucketed batch signatures so
  * thousand-request traces stay tractable (docs/DESIGN.md S5.4).
+ *
+ * Queue and KV occupancy are tracked incrementally (PR 3): running
+ * counters maintained at Submit/admission/progress transitions plus a
+ * finished-prefix index over the request states make Snapshot() and
+ * NextEventTime() O(1) and keep each scheduling pass O(active
+ * requests), so cost scales with in-flight work rather than trace
+ * length (docs/DESIGN.md S8).
  */
 #ifndef POD_SERVE_ENGINE_H
 #define POD_SERVE_ENGINE_H
@@ -67,6 +74,7 @@ struct ServingConfig
  * consumed by the cluster layer's routing policies
  * (docs/DESIGN.md S8). All token/request counts refer to requests
  * submitted to this engine, whether or not they have arrived yet.
+ * Assembled from running counters in O(1).
  */
 struct ReplicaSnapshot
 {
@@ -111,6 +119,15 @@ struct ReplicaSnapshot
     long kv_total_blocks = 0;
 
     long iterations = 0;
+
+    /** Attention memo-cache entries (docs/DESIGN.md S5.4). */
+    long attn_cache_entries = 0;
+
+    /** Attention memo-cache hits since the engine was constructed. */
+    long attn_cache_hits = 0;
+
+    /** Attention memo-cache misses (kernel simulations performed). */
+    long attn_cache_misses = 0;
 };
 
 /** Outcome of one ServingEngine::Step() call. */
@@ -185,11 +202,11 @@ class ServingEngine
     /**
      * Time of this replica's next actionable event: `Now()` if work
      * is runnable, the earliest queued future arrival otherwise, or
-     * +infinity when the queue is drained.
+     * +infinity when the queue is drained. O(1).
      */
     double NextEventTime() const;
 
-    /** Queue/KV occupancy view for routing decisions. */
+    /** Queue/KV occupancy view for routing decisions. O(1). */
     ReplicaSnapshot Snapshot() const;
 
     /** Metrics over the completed run; requires Done(). */
@@ -208,6 +225,12 @@ class ServingEngine
     /** Attention memo-cache entries created so far. */
     size_t AttnCacheSize() const { return attn_cache_.size(); }
 
+    /** Attention memo-cache hits since construction. */
+    long AttnCacheHits() const { return attn_cache_hits_; }
+
+    /** Attention memo-cache misses (kernel simulations performed). */
+    long AttnCacheMisses() const { return attn_cache_misses_; }
+
     const ServingConfig& Config() const { return config_; }
 
   private:
@@ -219,9 +242,21 @@ class ServingEngine
     double IterationTime(const ScheduledBatch& batch,
                          const std::vector<RequestState>& states);
 
+    /**
+     * Fold scheduler admissions into the running counters: the FCFS
+     * admission scan only ever admits a prefix of the unadmitted
+     * queue, so popping admitted heads is O(newly admitted).
+     */
+    void SyncAdmissions();
+
+    /** Advance the arrived-mark past entries with arrival <= now. */
+    void SyncArrivals();
+
     ServingConfig config_;
     std::unique_ptr<Scheduler> scheduler_;
     std::unordered_map<uint64_t, double> attn_cache_;
+    long attn_cache_hits_ = 0;
+    long attn_cache_misses_ = 0;
 
     // ---- stepping state (valid between Reset() and Done()) ----
     std::vector<RequestState> states_;
@@ -230,6 +265,31 @@ class ServingEngine
     long iterations_ = 0;
     double total_batch_tokens_ = 0.0;
     size_t finished_ = 0;
+
+    // ---- incremental queue/KV accounting (PR 3) ----
+    /** states_[i] for i < active_begin_ are all finished. */
+    size_t active_begin_ = 0;
+
+    /**
+     * Indices of not-yet-admitted requests in submission (= arrival)
+     * order. FCFS admission pops a prefix; entries before
+     * arrived_mark_ have arrival_time <= now_.
+     */
+    std::vector<int> unadmitted_;
+    size_t unadmitted_head_ = 0;
+    size_t arrived_mark_ = 0;
+
+    /** Admitted and unfinished requests. */
+    int running_ = 0;
+
+    /** Unprocessed prompt tokens across unfinished requests. */
+    long prefill_tokens_pending_ = 0;
+
+    /** Remaining output tokens across admitted unfinished requests. */
+    long decode_tokens_pending_ = 0;
+
+    /** KV blocks the unadmitted queue will eventually reserve. */
+    long pending_unadmitted_blocks_ = 0;
 };
 
 }  // namespace pod::serve

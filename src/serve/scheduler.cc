@@ -20,9 +20,10 @@ namespace {
  */
 void
 AdmitFcfs(double now, std::vector<RequestState>& requests,
-          BlockKvManager& kv)
+          BlockKvManager& kv, size_t active_begin)
 {
-    for (auto& state : requests) {
+    for (size_t i = active_begin; i < requests.size(); ++i) {
+        RequestState& state = requests[i];
         if (state.finished || state.admitted) continue;
         if (state.request.arrival_time > now) break;  // sorted by arrival
         int total_tokens =
@@ -45,15 +46,15 @@ VllmScheduler::VllmScheduler(int max_batched_tokens, int max_num_seqs)
 
 ScheduledBatch
 VllmScheduler::Next(double now, std::vector<RequestState>& requests,
-                    BlockKvManager& kv)
+                    BlockKvManager& kv, size_t active_begin)
 {
-    AdmitFcfs(now, requests, kv);
+    AdmitFcfs(now, requests, kv, active_begin);
     ScheduledBatch batch;
 
     // Prefill-prioritizing: if any admitted prompt is unprocessed,
     // run a prefill-only iteration over whole prompts (no chunking).
     int tokens = 0;
-    for (size_t i = 0; i < requests.size(); ++i) {
+    for (size_t i = active_begin; i < requests.size(); ++i) {
         RequestState& state = requests[i];
         if (!state.admitted || state.finished || state.PrefillDone()) {
             continue;
@@ -72,7 +73,7 @@ VllmScheduler::Next(double now, std::vector<RequestState>& requests,
         return batch;  // decodes pause: the generation stall (Fig. 2a)
     }
 
-    for (size_t i = 0; i < requests.size(); ++i) {
+    for (size_t i = active_begin; i < requests.size(); ++i) {
         if (requests[i].admitted && !requests[i].finished &&
             requests[i].DecodePending()) {
             batch.decodes.push_back(static_cast<int>(i));
@@ -93,13 +94,13 @@ SarathiScheduler::SarathiScheduler(int token_budget, int max_num_seqs)
 
 ScheduledBatch
 SarathiScheduler::Next(double now, std::vector<RequestState>& requests,
-                       BlockKvManager& kv)
+                       BlockKvManager& kv, size_t active_begin)
 {
-    AdmitFcfs(now, requests, kv);
+    AdmitFcfs(now, requests, kv, active_begin);
     ScheduledBatch batch;
 
     // All running decodes join every iteration: stall-free batching.
-    for (size_t i = 0; i < requests.size(); ++i) {
+    for (size_t i = active_begin; i < requests.size(); ++i) {
         if (requests[i].admitted && !requests[i].finished &&
             requests[i].DecodePending()) {
             batch.decodes.push_back(static_cast<int>(i));
@@ -112,7 +113,7 @@ SarathiScheduler::Next(double now, std::vector<RequestState>& requests,
     // Prefill chunks fill the remaining token budget (paper S2.1).
     int budget =
         std::max(0, token_budget_ - static_cast<int>(batch.decodes.size()));
-    for (size_t i = 0; i < requests.size() && budget > 0; ++i) {
+    for (size_t i = active_begin; i < requests.size() && budget > 0; ++i) {
         RequestState& state = requests[i];
         if (!state.admitted || state.finished || state.PrefillDone()) {
             continue;

@@ -71,10 +71,17 @@ class Scheduler
      * @param requests all request states (scheduler may admit by
      *        setting admitted and reserving KV).
      * @param kv block pool for admission control.
+     * @param active_begin first index that may be unfinished: every
+     *        request before it has finished, so scans start there and
+     *        stay O(active) on long traces (docs/DESIGN.md S8). Pass
+     *        0 to scan everything (no default: default arguments on
+     *        virtuals bind by static type and would silently pin
+     *        overrides to the base value).
      */
     virtual ScheduledBatch Next(double now,
                                 std::vector<RequestState>& requests,
-                                BlockKvManager& kv) = 0;
+                                BlockKvManager& kv,
+                                size_t active_begin) = 0;
 
     /** Policy name for reports. */
     virtual std::string Name() const = 0;
@@ -92,7 +99,8 @@ class VllmScheduler : public Scheduler
                            int max_num_seqs = 256);
 
     ScheduledBatch Next(double now, std::vector<RequestState>& requests,
-                        BlockKvManager& kv) override;
+                        BlockKvManager& kv,
+                        size_t active_begin) override;
 
     std::string Name() const override { return "vLLM"; }
 
@@ -115,7 +123,8 @@ class SarathiScheduler : public Scheduler
                               int max_num_seqs = 256);
 
     ScheduledBatch Next(double now, std::vector<RequestState>& requests,
-                        BlockKvManager& kv) override;
+                        BlockKvManager& kv,
+                        size_t active_begin) override;
 
     std::string Name() const override { return "Sarathi"; }
 

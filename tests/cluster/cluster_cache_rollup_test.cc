@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the fleet-level attention memo-cache rollup: per-replica
+ * hit/miss counters surfaced in ClusterMetricsReport and their
+ * fleet-wide sums (docs/DESIGN.md S5.4 observability).
+ */
+#include "cluster/cluster_engine.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "cluster/router.h"
+#include "serve/scheduler.h"
+
+namespace pod::cluster {
+namespace {
+
+std::vector<serve::Request>
+SmallTrace()
+{
+    std::vector<serve::Request> trace;
+    for (int i = 0; i < 20; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.arrival_time = 0.2 * i;
+        r.prefill_tokens = 600 + 500 * (i % 4);
+        r.decode_tokens = 10 + 15 * (i % 3);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+TEST(ClusterCacheRollupTest, FleetCountersSumPerReplicaCounters)
+{
+    serve::ServingConfig base;
+    base.backend = core::Backend::kFaSerial;
+    base.kv_bucket = 4096;
+    base.context_bucket = 4096;
+    base.decode_bs_bucket = 32;
+
+    ClusterEngine engine(
+        ClusterConfig::Homogeneous(base, 2),
+        [](int) { return std::make_unique<serve::SarathiScheduler>(1024); },
+        MakeRouter("round-robin"));
+    ClusterMetricsReport report = engine.Run(SmallTrace());
+
+    ASSERT_EQ(report.utilization.size(), 2u);
+    long entries = 0;
+    long hits = 0;
+    long misses = 0;
+    for (int r = 0; r < 2; ++r) {
+        const ReplicaUtilization& u =
+            report.utilization[static_cast<size_t>(r)];
+        // Each replica simulated work, so its cache saw lookups, and
+        // every miss created exactly one entry.
+        EXPECT_GT(u.attn_cache_misses, 0);
+        EXPECT_EQ(u.attn_cache_entries, u.attn_cache_misses);
+        EXPECT_EQ(u.attn_cache_entries,
+                  static_cast<long>(engine.Replica(r).AttnCacheSize()));
+        entries += u.attn_cache_entries;
+        hits += u.attn_cache_hits;
+        misses += u.attn_cache_misses;
+    }
+    EXPECT_EQ(report.attn_cache_entries, entries);
+    EXPECT_EQ(report.attn_cache_hits, hits);
+    EXPECT_EQ(report.attn_cache_misses, misses);
+    EXPECT_GT(report.AttnCacheHitRate(), 0.0);
+    EXPECT_LT(report.AttnCacheHitRate(), 1.0);
+
+    // Snapshot exposes the same (lifetime) counters for routing-time
+    // visibility; after a single run they equal the per-run deltas.
+    serve::ReplicaSnapshot snap = engine.Replica(0).Snapshot();
+    EXPECT_EQ(snap.attn_cache_hits,
+              report.utilization[0].attn_cache_hits);
+    EXPECT_EQ(snap.attn_cache_misses,
+              report.utilization[0].attn_cache_misses);
+
+    // A second run of the same engine reports only its own lookups:
+    // the memo caches are warm, so this identical trace misses
+    // nothing, and the rollup must not double-count run one.
+    ClusterMetricsReport second = engine.Run(SmallTrace());
+    EXPECT_EQ(second.attn_cache_misses, 0);
+    // Identical trace, warm cache: run two performs the same lookup
+    // sequence, so its hits equal run one's total lookups.
+    EXPECT_EQ(second.attn_cache_hits,
+              report.attn_cache_hits + report.attn_cache_misses);
+    EXPECT_EQ(second.attn_cache_entries, report.attn_cache_entries);
+    EXPECT_EQ(second.AttnCacheHitRate(), 1.0);
+}
+
+TEST(ClusterCacheRollupTest, HitRateIsZeroWithoutLookups)
+{
+    ReplicaUtilization u;
+    EXPECT_EQ(u.AttnCacheHitRate(), 0.0);
+    ClusterMetricsReport r;
+    EXPECT_EQ(r.AttnCacheHitRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace pod::cluster

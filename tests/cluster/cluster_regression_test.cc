@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Bit-identical regression pin for the cluster event loop.
+ *
+ * Runs the fixed 48-request trace from tests/golden_scenarios.h over
+ * a heterogeneous 3-replica fleet (A100 + H100 + A6000) under two
+ * routers and compares fleet metrics against exact golden doubles
+ * captured from the pre-refactor engine (PR 3). The O(active) loop
+ * refactor must route every request to the same replica at the same
+ * instant as the scan-everything loop did.
+ */
+#include "cluster/cluster_engine.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "../golden_scenarios.h"
+#include "cluster/router.h"
+#include "serve/scheduler.h"
+
+namespace pod::cluster {
+namespace {
+
+ClusterMetricsReport
+RunGoldenFleet(const std::string& router)
+{
+    serve::ServingConfig base;
+    base.backend = core::Backend::kPod;
+    ClusterConfig config;
+    config.replicas.assign(3, base);
+    config.replicas[1].gpu = gpusim::GpuSpec::H100Sxm80GB();
+    config.replicas[2].gpu = gpusim::GpuSpec::RtxA6000();
+    ClusterEngine engine(
+        config,
+        [](int) { return std::make_unique<serve::SarathiScheduler>(1024); },
+        MakeRouter(router));
+    return engine.Run(golden::ClusterTrace());
+}
+
+TEST(ClusterRegressionTest, LeastKvRunIsBitIdenticalToGolden)
+{
+    ClusterMetricsReport rep = RunGoldenFleet("least-kv");
+    const serve::MetricsReport& m = rep.fleet;
+
+    EXPECT_EQ(m.num_requests, 48);
+    EXPECT_EQ(m.iterations, 1397l);
+    EXPECT_EQ(m.makespan, 0x1.36ee66916293p+3);  // 9.7166016425659052
+    EXPECT_EQ(m.requests_per_minute, 0x1.2866617f5ea76p+8);
+    EXPECT_EQ(m.ttft.Percentile(50), 0x1.114689b48p-3);
+    EXPECT_EQ(m.ttft.Percentile(99), 0x1.64dac2d86de98p-1);
+    EXPECT_EQ(m.ttft.Max(), 0x1.651cc1f3a5a4p-1);
+    EXPECT_EQ(m.tbt.Percentile(50), 0x1.44a2b7d6bfb8p-7);
+    EXPECT_EQ(m.tbt.Percentile(99), 0x1.54ea810a6b5p-4);
+    EXPECT_EQ(m.tbt.Max(), 0x1.2adafd41bebcp-3);
+    EXPECT_EQ(m.latency.Mean(), 0x1.4d8640ae412c7p+0);
+    EXPECT_EQ(m.latency.Max(), 0x1.16d582e91f3ep+2);
+    EXPECT_EQ(m.frac_stalled_200ms, 0x0p+0);
+    EXPECT_EQ(m.frac_stalled_500ms, 0x0p+0);
+    EXPECT_EQ(m.mean_batch_tokens, 0x1.e49aa9b078364p+6);
+    EXPECT_EQ(rep.request_imbalance_cv, 0x1.8a85c24f70659p-2);
+    EXPECT_EQ(rep.token_imbalance_cv, 0x1.2fb13b5473b24p-1);
+    ASSERT_EQ(rep.utilization.size(), 3u);
+    EXPECT_EQ(rep.utilization[0].requests_routed, 17);
+    EXPECT_EQ(rep.utilization[0].tokens_processed, 0x1.a85ep+15);
+    EXPECT_EQ(rep.utilization[0].kv_peak, 0x1.5990666103bbfp-5);
+    EXPECT_EQ(rep.utilization[0].kv_mean, 0x1.48e7eda7b996ep-6);
+    EXPECT_EQ(rep.utilization[1].requests_routed, 23);
+    EXPECT_EQ(rep.utilization[1].tokens_processed, 0x1.8068p+16);
+    EXPECT_EQ(rep.utilization[1].kv_peak, 0x1.5e9ce636614b9p-5);
+    EXPECT_EQ(rep.utilization[1].kv_mean, 0x1.4f837b835d49ap-6);
+    EXPECT_EQ(rep.utilization[2].requests_routed, 8);
+    EXPECT_EQ(rep.utilization[2].tokens_processed, 0x1.0224p+14);
+    EXPECT_EQ(rep.utilization[2].kv_peak, 0x1.3c1f713c1f714p-5);
+    EXPECT_EQ(rep.utilization[2].kv_mean, 0x1.ae56be894351ap-6);
+}
+
+TEST(ClusterRegressionTest, PrefillAwareRunIsBitIdenticalToGolden)
+{
+    ClusterMetricsReport rep = RunGoldenFleet("prefill-aware");
+    const serve::MetricsReport& m = rep.fleet;
+
+    EXPECT_EQ(m.num_requests, 48);
+    EXPECT_EQ(m.iterations, 1368l);
+    EXPECT_EQ(m.makespan, 0x1.49f0d3ec8e833p+3);  // 10.310647928261551
+    EXPECT_EQ(m.requests_per_minute, 0x1.1752a9108ba0cp+8);
+    EXPECT_EQ(m.ttft.Percentile(50), 0x1.f04d7663334ap-4);
+    EXPECT_EQ(m.ttft.Percentile(99), 0x1.8f124682bb306p+0);
+    EXPECT_EQ(m.ttft.Max(), 0x1.c47fc76acb54p+0);
+    EXPECT_EQ(m.tbt.Percentile(50), 0x1.3ce37d5fcf7p-7);
+    EXPECT_EQ(m.tbt.Percentile(99), 0x1.2338cad93acep-3);
+    EXPECT_EQ(m.tbt.Max(), 0x1.84ed43809304p-3);
+    EXPECT_EQ(m.latency.Mean(), 0x1.4f3717ef1a27p+0);
+    EXPECT_EQ(m.latency.Max(), 0x1.73e5e9277f4f4p+2);
+    EXPECT_EQ(m.frac_stalled_200ms, 0x0p+0);
+    EXPECT_EQ(m.frac_stalled_500ms, 0x0p+0);
+    EXPECT_EQ(m.mean_batch_tokens, 0x1.eee08fb823ee1p+6);
+    EXPECT_EQ(rep.request_imbalance_cv, 0x1.2d52500834e58p-1);
+    EXPECT_EQ(rep.token_imbalance_cv, 0x1.f55abdbb6dde8p-2);
+    ASSERT_EQ(rep.utilization.size(), 3u);
+    EXPECT_EQ(rep.utilization[0].requests_routed, 12);
+    EXPECT_EQ(rep.utilization[0].tokens_processed, 0x1.82dap+15);
+    EXPECT_EQ(rep.utilization[0].kv_peak, 0x1.8c0d64b6ab583p-5);
+    EXPECT_EQ(rep.utilization[0].kv_mean, 0x1.6ba822bc0a89cp-6);
+    EXPECT_EQ(rep.utilization[1].requests_routed, 29);
+    EXPECT_EQ(rep.utilization[1].tokens_processed, 0x1.6bebp+16);
+    EXPECT_EQ(rep.utilization[1].kv_peak, 0x1.9596c7f45c123p-5);
+    EXPECT_EQ(rep.utilization[1].kv_mean, 0x1.3c9803e0adcedp-6);
+    EXPECT_EQ(rep.utilization[2].requests_routed, 7);
+    EXPECT_EQ(rep.utilization[2].tokens_processed, 0x1.9f2p+14);
+    EXPECT_EQ(rep.utilization[2].kv_peak, 0x1.93a6c593a6c59p-4);
+    EXPECT_EQ(rep.utilization[2].kv_mean, 0x1.e4852753e8d06p-6);
+}
+
+}  // namespace
+}  // namespace pod::cluster

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Fixed-seed scenarios for the bit-identical regression tests that
+ * pin the simulator hot paths across refactors (gpusim engine, serve
+ * stepping loop, cluster event loop). Each builder is fully
+ * deterministic and avoids libm-dependent trace generation so the
+ * golden values hold on any IEEE-754 platform.
+ *
+ * The golden literals in the *_regression_test.cc files were captured
+ * from the pre-refactor engines (PR 3); a mismatch means the refactor
+ * changed simulation *behaviour*, not just its speed.
+ */
+#ifndef POD_TESTS_GOLDEN_SCENARIOS_H
+#define POD_TESTS_GOLDEN_SCENARIOS_H
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gpusim/work.h"
+#include "serve/request.h"
+
+namespace pod::golden {
+
+/**
+ * A five-kernel, two-stream launch set exercising every engine path:
+ * multi-wave dispatch, an empty kernel, per-unit bandwidth caps,
+ * multi-unit CTAs (straggler retirement), per-kernel CTA residency
+ * limits, and a persistent refill kernel.
+ */
+inline std::vector<gpusim::KernelLaunch>
+GpusimLaunches()
+{
+    using namespace gpusim;
+    std::vector<KernelLaunch> launches;
+
+    // Kernel A (stream 0): hybrid compute, > 1 wave of CTAs, 1-3
+    // phases per unit with slightly varied demands.
+    {
+        std::vector<CtaWork> works;
+        for (int i = 0; i < 180; ++i) {
+            CtaWork w;
+            WorkUnit u;
+            u.op = OpClass::kPrefill;
+            u.warps = 8;
+            int phases = 1 + (i % 3);
+            for (int p = 0; p < phases; ++p) {
+                Phase ph;
+                ph.tensor_flops = 1e9 + 3e6 * ((i * 7 + p) % 11);
+                ph.cuda_flops = 2e8 + 1e6 * ((i * 5 + p) % 7);
+                ph.mem_bytes = 4e6 + 1e4 * ((i * 3 + p) % 13);
+                u.phases.push_back(ph);
+            }
+            w.units.push_back(std::move(u));
+            works.push_back(std::move(w));
+        }
+        KernelDesc k = KernelDesc::FromWorks(
+            "A_hybrid", CtaResources{256, 32768.0}, std::move(works));
+        launches.push_back(KernelLaunch{std::move(k), 0});
+    }
+
+    // Kernel B (stream 0): empty kernel, completes at its ready time.
+    {
+        KernelDesc k;
+        k.name = "B_empty";
+        k.cta_count = 0;
+        launches.push_back(KernelLaunch{std::move(k), 0});
+    }
+
+    // Kernel C (stream 0): memory-bound with explicit per-unit
+    // bandwidth caps.
+    {
+        std::vector<CtaWork> works;
+        for (int i = 0; i < 96; ++i) {
+            CtaWork w;
+            WorkUnit u;
+            u.op = OpClass::kMemory;
+            u.warps = 4;
+            u.mem_bw_cap = 30e9 + 1e9 * (i % 5);
+            Phase ph;
+            ph.mem_bytes = 6e6 + 2e4 * (i % 17);
+            ph.cuda_flops = 1e6;
+            u.phases.push_back(ph);
+            w.units.push_back(std::move(u));
+            works.push_back(std::move(w));
+        }
+        KernelDesc k = KernelDesc::FromWorks(
+            "C_memory", CtaResources{128, 8192.0}, std::move(works));
+        launches.push_back(KernelLaunch{std::move(k), 0});
+    }
+
+    // Kernel D (stream 1): two units per CTA (virtual-CTA straggler
+    // retirement) and a per-kernel residency limit.
+    {
+        std::vector<CtaWork> works;
+        for (int i = 0; i < 120; ++i) {
+            CtaWork w;
+            for (int uidx = 0; uidx < 2; ++uidx) {
+                WorkUnit u;
+                u.op = uidx == 0 ? OpClass::kDecode : OpClass::kCompute;
+                u.warps = uidx == 0 ? 2 : 6;
+                Phase ph;
+                ph.tensor_flops = 3e8 + 2e6 * ((i + uidx) % 9);
+                ph.cuda_flops = 5e7;
+                ph.mem_bytes = 2e6 + 1e4 * ((i * 2 + uidx) % 5);
+                u.phases.push_back(ph);
+                ph.tensor_flops /= 2.0;
+                ph.mem_bytes /= 4.0;
+                u.phases.push_back(ph);
+                w.units.push_back(std::move(u));
+            }
+            works.push_back(std::move(w));
+        }
+        KernelDesc k = KernelDesc::FromWorks(
+            "D_virtual", CtaResources{192, 16384.0}, std::move(works));
+        k.max_ctas_per_sm = 2;
+        launches.push_back(KernelLaunch{std::move(k), 1});
+    }
+
+    // Kernel E (stream 1): persistent refill kernel; 24 lanes drain a
+    // shared queue of 90 work items.
+    {
+        auto queue = std::make_shared<std::vector<gpusim::WorkUnit>>();
+        for (int i = 0; i < 90; ++i) {
+            WorkUnit u;
+            u.op = i % 3 == 0 ? OpClass::kDecode : OpClass::kOther;
+            u.warps = 4;
+            Phase ph;
+            ph.tensor_flops = 1e8 + 1e6 * (i % 13);
+            ph.cuda_flops = 2e7 + 5e5 * (i % 3);
+            ph.mem_bytes = 1e6 + 3e4 * (i % 7);
+            u.phases.push_back(ph);
+            queue->push_back(std::move(u));
+        }
+        auto cursor = std::make_shared<size_t>(24);  // first 24 pre-assigned
+
+        KernelDesc k;
+        k.name = "E_persistent";
+        k.resources = CtaResources{128, 4096.0};
+        k.cta_count = 24;
+        k.assign = [queue](int cta_index, int /*sm_id*/) {
+            CtaWork w;
+            w.units.push_back((*queue)[static_cast<size_t>(cta_index)]);
+            return w;
+        };
+        k.refill = [queue, cursor](int /*sm_id*/, gpusim::OpClass /*op*/,
+                                   gpusim::WorkUnit* next) {
+            if (*cursor >= queue->size()) return false;
+            *next = (*queue)[(*cursor)++];
+            return true;
+        };
+        launches.push_back(KernelLaunch{std::move(k), 1});
+    }
+
+    return launches;
+}
+
+/**
+ * A deterministic 32-request trace (no libm draws): staggered
+ * arrivals, heavy-tailed prompts that stress KV admission, and varied
+ * decode lengths.
+ */
+inline std::vector<serve::Request>
+ServeTrace()
+{
+    std::vector<serve::Request> trace;
+    for (int i = 0; i < 32; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.arrival_time = 0.25 * i + 0.125 * (i % 4);
+        r.prefill_tokens = 512 + 731 * (i % 7) + (i % 5 == 0 ? 9000 : 0);
+        r.decode_tokens = 16 + 37 * (i % 6);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+/** A denser 48-request variant for the cluster regression. */
+inline std::vector<serve::Request>
+ClusterTrace()
+{
+    std::vector<serve::Request> trace;
+    for (int i = 0; i < 48; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.arrival_time = 0.125 * i + 0.0625 * (i % 3);
+        r.prefill_tokens = 384 + 577 * (i % 9) + (i % 7 == 0 ? 6000 : 0);
+        r.decode_tokens = 12 + 29 * (i % 5);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+}  // namespace pod::golden
+
+#endif  // POD_TESTS_GOLDEN_SCENARIOS_H

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Bit-identical regression pin for the fluid engine.
+ *
+ * Runs the fixed five-kernel scenario from tests/golden_scenarios.h
+ * and compares every SimResult field against exact golden doubles
+ * captured from the pre-refactor engine (PR 3). EXPECT_EQ on doubles
+ * is deliberate: the event-core refactor must not change simulated
+ * behaviour at all, only its cost. The scenario avoids libm, so the
+ * literals are stable on any IEEE-754 platform.
+ */
+#include "gpusim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "../golden_scenarios.h"
+
+namespace pod::gpusim {
+namespace {
+
+double
+CtaFinishSum(const SimResult& r)
+{
+    double sum = 0.0;
+    for (double t : r.cta_finish_times) sum += t;
+    return sum;
+}
+
+double
+CtaFinishMax(const SimResult& r)
+{
+    double mx = 0.0;
+    for (double t : r.cta_finish_times) mx = std::max(mx, t);
+    return mx;
+}
+
+TEST(EngineRegressionTest, JitteredRunIsBitIdenticalToGolden)
+{
+    SimOptions opt;
+    opt.seed = 7;
+    opt.placement_jitter = 0.25;
+    opt.record_cta_times = true;
+    FluidEngine engine(GpuSpec::A100Sxm80GB(), opt);
+    SimResult r = engine.Run(golden::GpusimLaunches());
+
+    EXPECT_EQ(r.total_time, 0x1.b4a98a23f76bap-7);  // 0.013325874759114387
+    ASSERT_EQ(r.kernels.size(), 5u);
+    EXPECT_EQ(r.kernels[0].start_time, 0x1.92a737110e454p-19);
+    EXPECT_EQ(r.kernels[0].end_time, 0x1.a779ab21c825p-7);
+    EXPECT_EQ(r.kernels[1].start_time, 0x1.a792d5953935ep-7);
+    EXPECT_EQ(r.kernels[1].end_time, 0x1.a792d5953935ep-7);
+    EXPECT_EQ(r.kernels[2].start_time, 0x1.a792d5953935ep-7);
+    EXPECT_EQ(r.kernels[2].end_time, 0x1.b4a98a23f76bap-7);
+    EXPECT_EQ(r.kernels[3].start_time, 0x1.92a737110e454p-19);
+    EXPECT_EQ(r.kernels[3].end_time, 0x1.375004327ab1dp-8);
+    EXPECT_EQ(r.kernels[4].start_time, 0x1.378259195cd3ap-8);
+    EXPECT_EQ(r.kernels[4].end_time, 0x1.98bb9fe0fc812p-8);
+    EXPECT_EQ(r.tensor_util, 0x1.701486434112dp-3);
+    EXPECT_EQ(r.cuda_util, 0x1.16b871c0d0539p-1);
+    EXPECT_EQ(r.mem_util, 0x1.e8ca732392e7dp-4);
+    EXPECT_EQ(r.energy_joules, 0x1.1a8b861e0d8f5p+1);
+    EXPECT_EQ(r.total_ctas, 420);
+    EXPECT_EQ(r.per_op[0].tensor_flops, 0x1.543fd7fbffda9p+38);
+    EXPECT_EQ(r.per_op[0].cuda_flops, 0x1.103e84dfffe6ep+36);
+    EXPECT_EQ(r.per_op[0].mem_bytes, 0x1.5c6c2abffffc8p+30);
+    EXPECT_EQ(r.per_op[0].busy_time, 0x1.a76080ae57141p-7);
+    EXPECT_EQ(r.per_op[0].finish_time, 0x1.a779ab21c825p-7);
+    EXPECT_EQ(r.per_op[0].unit_count, 180);
+    EXPECT_EQ(r.per_op[1].tensor_flops, 0x1.b481d59800115p+35);
+    EXPECT_EQ(r.per_op[1].cuda_flops, 0x1.77825efffff8p+33);
+    EXPECT_EQ(r.per_op[1].mem_bytes, 0x1.401009000001dp+28);
+    EXPECT_EQ(r.per_op[1].busy_time, 0x1.96c8bb993de09p-8);
+    EXPECT_EQ(r.per_op[1].finish_time, 0x1.972d656702243p-8);
+    EXPECT_EQ(r.per_op[1].unit_count, 150);
+    EXPECT_EQ(r.per_op[2].tensor_flops, 0x1.9ced136ffffb2p+35);
+    EXPECT_EQ(r.per_op[2].cuda_flops, 0x1.65a0bbffffec4p+33);
+    EXPECT_EQ(r.per_op[2].mem_bytes, 0x1.20f69bfffff9p+28);
+    EXPECT_EQ(r.per_op[2].busy_time, 0x1.371daf4b989p-8);
+    EXPECT_EQ(r.per_op[2].finish_time, 0x1.375004327ab1dp-8);
+    EXPECT_EQ(r.per_op[2].unit_count, 120);
+    EXPECT_EQ(r.per_op[3].tensor_flops, 0x0p+0);
+    EXPECT_EQ(r.per_op[3].cuda_flops, 0x1.6e36000000012p+26);
+    EXPECT_EQ(r.per_op[3].mem_bytes, 0x1.19aaef0000022p+29);
+    EXPECT_EQ(r.per_op[3].busy_time, 0x1.a2d691d7c6c23p-12);
+    EXPECT_EQ(r.per_op[3].finish_time, 0x1.b4a98a23f76bap-7);
+    EXPECT_EQ(r.per_op[3].unit_count, 96);
+    EXPECT_EQ(r.per_op[4].tensor_flops, 0x1.7b15e6000002p+32);
+    EXPECT_EQ(r.per_op[4].cuda_flops, 0x1.28d4c5000004p+30);
+    EXPECT_EQ(r.per_op[4].mem_bytes, 0x1.f2f65ffffffecp+25);
+    EXPECT_EQ(r.per_op[4].busy_time, 0x1.84e51b1e7eb4ap-10);
+    EXPECT_EQ(r.per_op[4].finish_time, 0x1.98bb9fe0fc812p-8);
+    EXPECT_EQ(r.per_op[4].unit_count, 60);
+    ASSERT_EQ(r.cta_finish_times.size(), 420u);
+    EXPECT_EQ(CtaFinishSum(r), 0x1.98b338cd00fc8p+1);
+    EXPECT_EQ(CtaFinishMax(r), 0x1.b4a98a23f76bap-7);
+    EXPECT_EQ(r.cta_finish_times.front(), 0x1.9f36e8dd3a594p-9);
+    EXPECT_EQ(r.cta_finish_times.back(), 0x1.b4a98a23f76bap-7);
+}
+
+TEST(EngineRegressionTest, DeterministicRunIsBitIdenticalToGolden)
+{
+    FluidEngine engine(GpuSpec::A100Sxm80GB(), SimOptions());
+    SimResult r = engine.Run(golden::GpusimLaunches());
+
+    EXPECT_EQ(r.total_time, 0x1.7db6d717c6b8fp-7);  // 0.011648993516748777
+    ASSERT_EQ(r.kernels.size(), 5u);
+    EXPECT_EQ(r.kernels[0].start_time, 0x1.92a737110e454p-19);
+    EXPECT_EQ(r.kernels[0].end_time, 0x1.721128c5df07p-7);
+    EXPECT_EQ(r.kernels[1].start_time, 0x1.722a53395017ep-7);
+    EXPECT_EQ(r.kernels[1].end_time, 0x1.722a53395017ep-7);
+    EXPECT_EQ(r.kernels[2].start_time, 0x1.722a53395017ep-7);
+    EXPECT_EQ(r.kernels[2].end_time, 0x1.7db6d717c6b8fp-7);
+    EXPECT_EQ(r.kernels[3].start_time, 0x1.92a737110e454p-19);
+    EXPECT_EQ(r.kernels[3].end_time, 0x1.0375bc508befap-8);
+    EXPECT_EQ(r.kernels[4].start_time, 0x1.03a811376e117p-8);
+    EXPECT_EQ(r.kernels[4].end_time, 0x1.59bb5f94e0d0ap-8);
+    EXPECT_EQ(r.tensor_util, 0x1.a510ca5340f4dp-3);
+    EXPECT_EQ(r.cuda_util, 0x1.3ed7ae79ccf1cp-1);
+    EXPECT_EQ(r.mem_util, 0x1.1793890b5ab18p-3);
+    EXPECT_EQ(r.energy_joules, 0x1.073a332bc470bp+1);
+    EXPECT_EQ(r.total_ctas, 420);
+    EXPECT_EQ(r.per_op[0].tensor_flops, 0x1.543fd7fbfff9ap+38);
+    EXPECT_EQ(r.per_op[0].cuda_flops, 0x1.103e84dfffe85p+36);
+    EXPECT_EQ(r.per_op[0].mem_bytes, 0x1.5c6c2ac00008dp+30);
+    EXPECT_EQ(r.per_op[0].busy_time, 0x1.71f7fe526df62p-7);
+    EXPECT_EQ(r.per_op[0].finish_time, 0x1.721128c5df07p-7);
+    EXPECT_EQ(r.per_op[0].unit_count, 180);
+    EXPECT_EQ(r.per_op[1].tensor_flops, 0x1.b481d598001a6p+35);
+    EXPECT_EQ(r.per_op[1].cuda_flops, 0x1.77825effffdb2p+33);
+    EXPECT_EQ(r.per_op[1].mem_bytes, 0x1.4010090000008p+28);
+    EXPECT_EQ(r.per_op[1].busy_time, 0x1.584d3975caf9dp-8);
+    EXPECT_EQ(r.per_op[1].finish_time, 0x1.58b1e3438f3d6p-8);
+    EXPECT_EQ(r.per_op[1].unit_count, 150);
+    EXPECT_EQ(r.per_op[2].tensor_flops, 0x1.9ced136ffffdep+35);
+    EXPECT_EQ(r.per_op[2].cuda_flops, 0x1.65a0bbffffa13p+33);
+    EXPECT_EQ(r.per_op[2].mem_bytes, 0x1.20f69bffffff2p+28);
+    EXPECT_EQ(r.per_op[2].busy_time, 0x1.03436769a9cdep-8);
+    EXPECT_EQ(r.per_op[2].finish_time, 0x1.0375bc508befap-8);
+    EXPECT_EQ(r.per_op[2].unit_count, 120);
+    EXPECT_EQ(r.per_op[3].tensor_flops, 0x0p+0);
+    EXPECT_EQ(r.per_op[3].cuda_flops, 0x1.6e36000000004p+26);
+    EXPECT_EQ(r.per_op[3].mem_bytes, 0x1.19aaeefffffdp+29);
+    EXPECT_EQ(r.per_op[3].busy_time, 0x1.71907bced4272p-12);
+    EXPECT_EQ(r.per_op[3].finish_time, 0x1.7db6d717c6b8fp-7);
+    EXPECT_EQ(r.per_op[3].unit_count, 96);
+    EXPECT_EQ(r.per_op[4].tensor_flops, 0x1.7b15e60000041p+32);
+    EXPECT_EQ(r.per_op[4].cuda_flops, 0x1.28d4c5000007dp+30);
+    EXPECT_EQ(r.per_op[4].mem_bytes, 0x1.f2f6600000004p+25);
+    EXPECT_EQ(r.per_op[4].busy_time, 0x1.584d3975caf7cp-10);
+    EXPECT_EQ(r.per_op[4].finish_time, 0x1.59bb5f94e0d0ap-8);
+    EXPECT_EQ(r.per_op[4].unit_count, 60);
+    EXPECT_EQ(r.cta_finish_times.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pod::gpusim

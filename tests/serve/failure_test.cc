@@ -34,7 +34,7 @@ TEST(FailureInjection, RequestLargerThanPoolIsFatal)
     std::vector<RequestState> states(1);
     states[0].request = Request{0, 0.0, 1000, 10};
     SarathiScheduler sched(512);
-    EXPECT_EXIT(sched.Next(0.0, states, kv),
+    EXPECT_EXIT(sched.Next(0.0, states, kv, 0),
                 ::testing::ExitedWithCode(1), "FATAL");
 }
 
@@ -49,7 +49,7 @@ TEST(FailureInjection, HeadOfLineBlockingUnderMemoryPressure)
     states[0].request = Request{0, 0.0, 1300, 100};  // needs 1400 > free
     states[1].request = Request{1, 0.0, 100, 10};    // would fit
     SarathiScheduler sched(512);
-    ScheduledBatch batch = sched.Next(0.0, states, kv);
+    ScheduledBatch batch = sched.Next(0.0, states, kv, 0);
     EXPECT_FALSE(states[0].admitted);
     EXPECT_FALSE(states[1].admitted);
     EXPECT_TRUE(batch.Empty());

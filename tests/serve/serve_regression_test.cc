@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bit-identical regression pin for the serving engine.
+ *
+ * Runs the fixed 32-request trace from tests/golden_scenarios.h under
+ * both schedulers and compares the MetricsReport against exact golden
+ * doubles captured from the pre-refactor engine (PR 3). The
+ * incremental-accounting refactor (running counters, finished-prefix
+ * index) must not change a single scheduling or timing decision.
+ */
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "../golden_scenarios.h"
+#include "serve/scheduler.h"
+
+namespace pod::serve {
+namespace {
+
+TEST(ServeRegressionTest, SarathiPodRunIsBitIdenticalToGolden)
+{
+    ServingConfig config;
+    config.backend = core::Backend::kPod;
+    ServingEngine engine(config, std::make_unique<SarathiScheduler>(512));
+    MetricsReport m = engine.Run(golden::ServeTrace());
+
+    EXPECT_EQ(m.num_requests, 32);
+    EXPECT_EQ(m.iterations, 469l);
+    EXPECT_EQ(m.makespan, 0x1.b4d5596d5db95p+3);  // 13.651043618779832
+    EXPECT_EQ(m.requests_per_minute, 0x1.194c13a214841p+7);
+    EXPECT_EQ(m.ttft.Percentile(50), 0x1.c1a3eba14db6ep+0);
+    EXPECT_EQ(m.ttft.Percentile(99), 0x1.e6b668ac4df2p+1);
+    EXPECT_EQ(m.ttft.Max(), 0x1.ed92b4aa71ccp+1);
+    EXPECT_EQ(m.tbt.Percentile(50), 0x1.3e23fc3befap-5);
+    EXPECT_EQ(m.tbt.Percentile(99), 0x1.b8cb296ddd7p-5);
+    EXPECT_EQ(m.tbt.Max(), 0x1.c6d866c51f28p-5);
+    EXPECT_EQ(m.latency.Mean(), 0x1.577aa6d3c7625p+2);
+    EXPECT_EQ(m.latency.Max(), 0x1.2bada618b8f32p+3);
+    EXPECT_EQ(m.frac_stalled_200ms, 0x0p+0);
+    EXPECT_EQ(m.frac_stalled_500ms, 0x0p+0);
+    EXPECT_EQ(m.mean_batch_tokens, 0x1.3c8f02baad93fp+8);
+    EXPECT_EQ(engine.TotalBatchTokens(), 0x1.21f9p+17);  // 148466
+    EXPECT_EQ(engine.AttnCacheSize(), 114u);
+}
+
+TEST(ServeRegressionTest, VllmFaSerialRunIsBitIdenticalToGolden)
+{
+    ServingConfig config;
+    config.backend = core::Backend::kFaSerial;
+    ServingEngine engine(config, std::make_unique<VllmScheduler>());
+    MetricsReport m = engine.Run(golden::ServeTrace());
+
+    EXPECT_EQ(m.num_requests, 32);
+    EXPECT_EQ(m.iterations, 224l);
+    EXPECT_EQ(m.makespan, 0x1.d280c7aa72c56p+3);  // 14.578220208079227
+    EXPECT_EQ(m.requests_per_minute, 0x1.0768198c97f6dp+7);
+    EXPECT_EQ(m.ttft.Percentile(50), 0x1.e544ee0a97a18p+0);
+    EXPECT_EQ(m.ttft.Percentile(99), 0x1.b86384f9f9c26p+1);
+    EXPECT_EQ(m.ttft.Max(), 0x1.bbaace838ca18p+1);
+    EXPECT_EQ(m.tbt.Percentile(50), 0x1.2f64642db64p-6);
+    EXPECT_EQ(m.tbt.Percentile(99), 0x1.6282a563df4p-6);
+    EXPECT_EQ(m.tbt.Max(), 0x1.4799a353d6ccdp+3);
+    EXPECT_EQ(m.latency.Mean(), 0x1.2190e1748d47cp+3);
+    EXPECT_EQ(m.latency.Max(), 0x1.a680c7aa72c56p+3);
+    EXPECT_EQ(m.frac_stalled_200ms, 0x1.ep-1);  // 0.9375
+    EXPECT_EQ(m.frac_stalled_500ms, 0x1.ep-1);
+    EXPECT_EQ(m.mean_batch_tokens, 0x1.4b65b6db6db6ep+9);
+}
+
+}  // namespace
+}  // namespace pod::serve

@@ -157,7 +157,7 @@ TEST(VllmSchedulerTest, PrefillPriorityPausesDecodes)
     VllmScheduler sched;
 
     // First iteration: both prompts prefill together (whole prompts).
-    ScheduledBatch b1 = sched.Next(0.0, states, kv);
+    ScheduledBatch b1 = sched.Next(0.0, states, kv, 0);
     ASSERT_EQ(b1.prefills.size(), 2u);
     EXPECT_EQ(b1.prefills[0].chunk_len, 1000);
     EXPECT_TRUE(b1.decodes.empty());
@@ -167,14 +167,14 @@ TEST(VllmSchedulerTest, PrefillPriorityPausesDecodes)
     states[1].decoded = 1;
 
     // Now decodes run...
-    ScheduledBatch b2 = sched.Next(1.0, states, kv);
+    ScheduledBatch b2 = sched.Next(1.0, states, kv, 0);
     EXPECT_TRUE(b2.prefills.empty());
     EXPECT_EQ(b2.decodes.size(), 2u);
 
     // ...until a new request arrives: prefill preempts decodes.
     states.push_back(RequestState{});
     states.back().request = Request{2, 0.5, 800, 10};
-    ScheduledBatch b3 = sched.Next(2.0, states, kv);
+    ScheduledBatch b3 = sched.Next(2.0, states, kv, 0);
     ASSERT_EQ(b3.prefills.size(), 1u);
     EXPECT_EQ(b3.prefills[0].chunk_len, 800);
     EXPECT_TRUE(b3.decodes.empty());  // the generation stall
@@ -191,7 +191,7 @@ TEST(SarathiSchedulerTest, BudgetSharedBetweenDecodesAndChunk)
     states[2].decoded = 5;
     SarathiScheduler sched(512);
 
-    ScheduledBatch batch = sched.Next(0.0, states, kv);
+    ScheduledBatch batch = sched.Next(0.0, states, kv, 0);
     EXPECT_EQ(batch.decodes.size(), 2u);
     ASSERT_EQ(batch.prefills.size(), 1u);
     // Chunk fills the remaining budget: 512 - 2 decodes.
@@ -204,7 +204,7 @@ TEST(SarathiSchedulerTest, MultipleChunksFillBudget)
     BlockKvManager kv(100000, 16);
     auto states = MakeStates(UniformTrace(3, 300, 10));
     SarathiScheduler sched(1024);
-    ScheduledBatch batch = sched.Next(0.0, states, kv);
+    ScheduledBatch batch = sched.Next(0.0, states, kv, 0);
     // 300+300+300 = 900 <= 1024: all three prompts chunk in.
     EXPECT_EQ(batch.prefills.size(), 3u);
     EXPECT_EQ(batch.TotalTokens(), 900);
@@ -216,7 +216,7 @@ TEST(SarathiSchedulerTest, AdmissionBlocksOnKv)
     BlockKvManager kv(70, 16);  // 1120 tokens
     auto states = MakeStates(UniformTrace(2, 1000, 100));
     SarathiScheduler sched(512);
-    ScheduledBatch batch = sched.Next(0.0, states, kv);
+    ScheduledBatch batch = sched.Next(0.0, states, kv, 0);
     EXPECT_TRUE(states[0].admitted);
     EXPECT_FALSE(states[1].admitted);
     ASSERT_EQ(batch.prefills.size(), 1u);
@@ -230,8 +230,8 @@ TEST(SchedulerTest, FutureArrivalsInvisible)
     reqs[0].arrival_time = 50.0;
     auto states = MakeStates(reqs);
     SarathiScheduler sched(512);
-    EXPECT_TRUE(sched.Next(0.0, states, kv).Empty());
-    EXPECT_FALSE(sched.Next(50.0, states, kv).Empty());
+    EXPECT_TRUE(sched.Next(0.0, states, kv, 0).Empty());
+    EXPECT_FALSE(sched.Next(50.0, states, kv, 0).Empty());
 }
 
 // ---- engine end-to-end tests ----
