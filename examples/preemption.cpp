@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Preemption walkthrough: one memory-tight A100 replica under an
+ * overload burst, served under the three KV allocation policies
+ * (docs/DESIGN.md S2):
+ *
+ *  - conservative: prompt + maximum output reserved up front; the
+ *    queue head-of-line-blocks when the pool is full, so requests
+ *    wait but nothing is ever evicted (the pre-redesign default);
+ *  - watermark + recompute: vLLM admission on prompt blocks behind a
+ *    free-pool watermark; under decode pressure victims are evicted
+ *    and later re-run their prefill over prompt + generated tokens;
+ *  - watermark + swap: same admission, but victims park their KV in
+ *    host memory and pay PCIe transfer time out and back in.
+ *
+ * The walkthrough prints TTFT/TBT percentiles next to the lifecycle
+ * counters the redesign surfaces (preemptions by mode, swap transfer
+ * time, requests touched), so the latency cost of each recovery
+ * mechanism is directly attributable.
+ */
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.h"
+#include "serve/engine.h"
+#include "serve/scheduler.h"
+
+int
+main()
+{
+    using namespace pod;
+    using namespace pod::serve;
+
+    // ---- one overloaded replica: a tiny KV pool ----
+    // memory_fraction shrinks the usable HBM so the pool holds only a
+    // few thousand KV tokens -- a memory-tight deployment where the
+    // admission policy decides everything.
+    ServingConfig base;
+    base.model = model::ModelConfig::Llama3_8B();
+    base.tensor_parallel = 2;
+    base.backend = core::Backend::kPod;
+    base.memory_fraction = 0.0958;
+
+    std::printf("One A100 replica, Llama-3-8B TP-2, Sarathi+POD "
+                "chunk 512.\n");
+    std::printf("KV pool shrunk to ~%ld tokens; overload burst: 12 "
+                "requests in 0.55 s,\n"
+                "prompts 384-640 tokens, outputs 384-672 tokens.\n\n",
+                base.KvTokenCapacity());
+
+    // ---- a deterministic overload burst ----
+    // Mirrors golden::OverloadTrace() in tests/golden_scenarios.h
+    // (examples cannot include tests/); keep the formulas in sync so
+    // the walkthrough shows the exact scenario the tests pin.
+    std::vector<Request> trace;
+    for (int i = 0; i < 12; ++i) {
+        Request r;
+        r.id = i;
+        r.arrival_time = 0.05 * i;
+        r.prefill_tokens = 384 + 128 * (i % 3);
+        r.decode_tokens = 384 + 96 * (i % 4);
+        trace.push_back(r);
+    }
+
+    struct PolicyPoint
+    {
+        const char* label;
+        KvPolicy policy;
+        PreemptMode mode;
+    };
+    const PolicyPoint points[] = {
+        {"conservative", KvPolicy::kConservative, PreemptMode::kRecompute},
+        {"wm-recompute", KvPolicy::kWatermark, PreemptMode::kRecompute},
+        {"wm-swap", KvPolicy::kWatermark, PreemptMode::kSwap},
+    };
+
+    Table table({"policy", "req/min", "TTFT P50 (s)", "TTFT P99 (s)",
+                 "TBT P99 (ms)", "TBT max (ms)", "preempt", "reqs hit",
+                 "swap (s)"});
+    for (const auto& point : points) {
+        ServingConfig config = base;
+        config.kv_policy = point.policy;
+        config.kv_preempt_mode = point.mode;
+        config.kv_watermark = 0.01;
+
+        ServingEngine engine(config,
+                             std::make_unique<SarathiScheduler>(512));
+        MetricsReport report = engine.Run(trace);
+        table.AddRow({point.label,
+                      Table::Num(report.requests_per_minute, 1),
+                      Table::Num(report.ttft.Percentile(50), 2),
+                      Table::Num(report.ttft.Percentile(99), 2),
+                      Table::Num(report.tbt.Percentile(99) * 1e3, 1),
+                      Table::Num(report.tbt.Max() * 1e3, 1),
+                      Table::Int(report.preemptions),
+                      Table::Int(report.requests_preempted),
+                      Table::Num(report.swap_time_total, 3)});
+    }
+    table.Print(std::cout);
+
+    std::printf(
+        "\nHow to read this:\n"
+        " - conservative never preempts: later requests simply wait "
+        "for KV,\n   so TTFT grows but decode pacing (TBT) stays "
+        "clean.\n"
+        " - wm-recompute admits earlier (lower TTFT P50) but evicted "
+        "requests\n   re-run their prefill: their next token waits "
+        "for a full re-prefill,\n   which lands in the TBT tail.\n"
+        " - wm-swap keeps progress but serializes PCIe transfers "
+        "into the\n   iteration stream; the swap column is exactly "
+        "the transfer time the\n   roofline PCIe model charged.\n"
+        "Counters (preempt / reqs hit / swap s) surface in "
+        "MetricsReport,\nReplicaSnapshot and ClusterMetricsReport -- "
+        "the cluster layer's\npreemption-aware router steers traffic "
+        "away from thrashing replicas\nusing the same signals.\n");
+    return 0;
+}

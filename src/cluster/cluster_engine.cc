@@ -165,6 +165,11 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
         report.attn_cache_hits += report.utilization[r].attn_cache_hits;
         report.attn_cache_misses +=
             report.utilization[r].attn_cache_misses;
+        report.preemptions += report.per_replica[r].preemptions;
+        report.preemptions_recompute +=
+            report.per_replica[r].preemptions_recompute;
+        report.preemptions_swap += report.per_replica[r].preemptions_swap;
+        report.swap_time_total += report.per_replica[r].swap_time_total;
         fleet_states.insert(fleet_states.end(),
                             replica.States().begin(),
                             replica.States().end());
@@ -180,6 +185,12 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
     report.fleet = serve::CollectMetrics(fleet_states, fleet_makespan,
                                          fleet_iterations, fleet_tokens);
     report.fleet.system = router_->Name();
+    // CollectMetrics recovers the per-request preemption counts from
+    // the pooled states; the mode split and transfer time only exist
+    // in the per-replica engine counters, so roll those up.
+    report.fleet.preemptions_recompute = report.preemptions_recompute;
+    report.fleet.preemptions_swap = report.preemptions_swap;
+    report.fleet.swap_time_total = report.swap_time_total;
     report.request_imbalance_cv = CoefficientOfVariation(request_counts);
     report.token_imbalance_cv = CoefficientOfVariation(token_counts);
     return report;

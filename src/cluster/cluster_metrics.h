@@ -86,6 +86,14 @@ struct ClusterMetricsReport
     long attn_cache_hits = 0;
     long attn_cache_misses = 0;
 
+    // Fleet-wide request-lifecycle rollup (sums of the per-replica
+    // MetricsReport counters; docs/DESIGN.md S2). Nonzero only when
+    // replicas run the watermark KV allocator.
+    long preemptions = 0;
+    long preemptions_recompute = 0;
+    long preemptions_swap = 0;
+    double swap_time_total = 0.0;
+
     /** Fleet cache hits / (hits + misses); 0 when no lookups. */
     double AttnCacheHitRate() const;
 };

@@ -100,6 +100,21 @@ PrefillAwareRouter::Route(const serve::Request& request,
     });
 }
 
+int
+PreemptionAwareRouter::Route(const serve::Request& request,
+                             const std::vector<serve::ReplicaSnapshot>&
+                                 replicas)
+{
+    (void)request;
+    return ArgMin(replicas, [](const serve::ReplicaSnapshot& r) {
+        // Fewest currently-preempted requests first; ties go to the
+        // replica with the most admission headroom (ArgMin, so
+        // negate).
+        return std::make_pair(static_cast<double>(r.preempted),
+                              -r.kv_watermark_headroom);
+    });
+}
+
 std::unique_ptr<Router>
 MakeRouter(const std::string& name)
 {
@@ -115,6 +130,9 @@ MakeRouter(const std::string& name)
     if (name == "prefill-aware") {
         return std::make_unique<PrefillAwareRouter>();
     }
+    if (name == "preemption-aware") {
+        return std::make_unique<PreemptionAwareRouter>();
+    }
     Fatal("unknown router policy '%s'", name.c_str());
 }
 
@@ -122,7 +140,7 @@ std::vector<std::string>
 RouterNames()
 {
     return {"round-robin", "least-outstanding", "least-kv",
-            "prefill-aware"};
+            "prefill-aware", "preemption-aware"};
 }
 
 }  // namespace pod::cluster

@@ -123,8 +123,29 @@ class PrefillAwareRouter : public Router
 };
 
 /**
+ * Preemption-pressure routing for fleets running the watermark KV
+ * allocator: avoid replicas that are actively thrashing (requests
+ * currently evicted and awaiting re-admission), then prefer the
+ * replica with the most free-pool headroom above its admission
+ * watermark — the direct predictor of whether this request admits
+ * without displacing running work. Under the conservative allocator
+ * no replica ever preempts, so the policy degrades to
+ * most-watermark-headroom (≈ least KV utilization).
+ */
+class PreemptionAwareRouter : public Router
+{
+  public:
+    int Route(const serve::Request& request,
+              const std::vector<serve::ReplicaSnapshot>& replicas)
+        override;
+
+    std::string Name() const override { return "preemption-aware"; }
+};
+
+/**
  * Build a router by policy name: "round-robin", "least-outstanding",
- * "least-kv" or "prefill-aware". Fatal on unknown names.
+ * "least-kv", "prefill-aware" or "preemption-aware". Fatal on
+ * unknown names.
  */
 std::unique_ptr<Router> MakeRouter(const std::string& name);
 

@@ -25,6 +25,7 @@ GpuSpec::Validate() const
                   "tensor saturation warp count must be > 0");
     POD_CHECK_ARG(warps_per_cuda_saturation > 0,
                   "CUDA saturation warp count must be > 0");
+    POD_CHECK_ARG(pcie_bandwidth > 0, "PCIe bandwidth must be > 0");
 }
 
 GpuSpec
@@ -45,6 +46,7 @@ GpuSpec::A100Sxm80GB()
     spec.max_ctas_per_sm = 32;
     spec.hbm_capacity = 80.0 * 1024.0 * 1024.0 * 1024.0;
     spec.nvlink_bandwidth = 600e9;
+    spec.pcie_bandwidth = 32e9 * 0.8;  // PCIe Gen4 x16
     return spec;
 }
 
@@ -70,6 +72,7 @@ GpuSpec::H100Sxm80GB()
     spec.max_ctas_per_sm = 32;
     spec.hbm_capacity = 80.0 * 1024.0 * 1024.0 * 1024.0;
     spec.nvlink_bandwidth = 900e9;
+    spec.pcie_bandwidth = 64e9 * 0.8;  // PCIe Gen5 x16
     // Component split of the 700 W SXM5 TDP, same proportions as the
     // A100 model.
     spec.idle_power_w = 110.0;
@@ -102,6 +105,7 @@ GpuSpec::RtxA6000()
     spec.hbm_capacity = 48.0 * 1024.0 * 1024.0 * 1024.0;
     // NVLink3 bridge between a pair of A6000s.
     spec.nvlink_bandwidth = 112.5e9;
+    spec.pcie_bandwidth = 32e9 * 0.8;  // PCIe Gen4 x16
     // Component split of the 300 W TDP.
     spec.idle_power_w = 60.0;
     spec.tensor_power_w = 130.0;
@@ -127,6 +131,7 @@ GpuSpec::TestGpu8Sm()
     spec.max_threads_per_sm = 1024;
     spec.max_ctas_per_sm = 8;
     spec.hbm_capacity = 16.0 * 1024.0 * 1024.0 * 1024.0;
+    spec.pcie_bandwidth = 8e9;  // round number for exact-time tests
     return spec;
 }
 

@@ -86,6 +86,13 @@ struct GpuSpec
     /** NVLink bandwidth per GPU in bytes/s (for TP all-reduce). */
     double nvlink_bandwidth = 600e9;
 
+    /**
+     * Achievable host-device PCIe bandwidth in bytes/s (for KV swap
+     * traffic under preemption). A100: PCIe Gen4 x16, 32 GB/s peak
+     * x 0.8 achievable.
+     */
+    double pcie_bandwidth = 32e9 * 0.8;
+
     // -------- power model (S5.1 energy evaluation) --------
 
     /** Static/idle power draw in watts. */

@@ -2,19 +2,25 @@
  * @file
  * Implementation of the serving engine.
  *
- * The incremental accounting invariants (PR 3):
+ * The incremental accounting invariants (PR 3, extended for the
+ * lifecycle redesign):
  *  - `unadmitted_` holds state indices of never-admitted requests in
  *    submission (= arrival) order. The FCFS admission scan admits a
- *    consecutive prefix (head-of-line blocking stops it), and an
- *    unadmitted request can never finish, so the queue only ever pops
- *    at `unadmitted_head_`.
+ *    consecutive prefix (head-of-line blocking stops it), and a
+ *    never-admitted request can never finish, so the queue only ever
+ *    pops at `unadmitted_head_`. Preempted requests left the queue at
+ *    their first admission; their transitions flow through the
+ *    SchedulingDecision lists instead.
  *  - `arrived_mark_` splits the queue into arrived (<= now) and
  *    future entries; the clock is monotonic, so it only moves forward.
  *  - Token/block counters are integer sums updated at transitions
- *    (Submit, admission, chunk/decode progress, finish), so the O(1)
- *    Snapshot() is exactly the value the old full scan computed.
+ *    (Submit, admission, restore, preemption, chunk/decode progress,
+ *    finish), so the O(1) Snapshot() is exactly the value a full
+ *    rescan computes.
  * Every invariant is pinned by the bit-identical regression tests in
- * tests/serve/serve_regression_test.cc.
+ * tests/serve/serve_regression_test.cc (conservative policy) and the
+ * brute-force invariant tests in tests/serve/serve_incremental_test.cc
+ * and tests/serve/preemption_test.cc (watermark policy).
  */
 #include "serve/engine.h"
 
@@ -142,8 +148,7 @@ ServingEngine::IterationTime(const ScheduledBatch& batch,
     for (const auto& p : batch.prefills) {
         const RequestState& state = states[static_cast<size_t>(
             p.req_index)];
-        if (state.prefilled + p.chunk_len >=
-            state.request.prefill_tokens) {
+        if (state.prefilled + p.chunk_len >= state.PrefillTarget()) {
             ++logit_tokens;
         }
     }
@@ -178,13 +183,23 @@ ServingEngine::Reset()
     unadmitted_head_ = 0;
     arrived_mark_ = 0;
     running_ = 0;
+    preempted_now_ = 0;
     prefill_tokens_pending_ = 0;
     decode_tokens_pending_ = 0;
     pending_unadmitted_blocks_ = 0;
+    pending_preempted_blocks_ = 0;
+    preemptions_recompute_ = 0;
+    preemptions_swap_ = 0;
+    swap_time_total_ = 0.0;
     long kv_tokens = config_.KvTokenCapacity();
-    kv_ = std::make_unique<BlockKvManager>(
-        std::max<long>(1, kv_tokens / config_.kv_block_size),
-        config_.kv_block_size);
+    kv_ = MakeKvAllocator(config_.kv_policy,
+                          std::max<long>(1, kv_tokens / config_.kv_block_size),
+                          config_.kv_block_size, config_.kv_watermark,
+                          config_.kv_preempt_mode);
+    kv_bytes_per_token_ =
+        config_.model.KvBytesPerTokenPerGpu(config_.tensor_parallel);
+    swap_bandwidth_ =
+        std::min(config_.gpu.pcie_bandwidth, config_.gpu.hbm_bandwidth);
 }
 
 void
@@ -219,13 +234,13 @@ ServingEngine::SyncArrivals()
 }
 
 void
-ServingEngine::SyncAdmissions()
+ServingEngine::ApplyAdmissions(const SchedulingDecision& decision)
 {
-    while (unadmitted_head_ < unadmitted_.size() &&
-           states_[static_cast<size_t>(unadmitted_[unadmitted_head_])]
-               .admitted) {
-        const RequestState& state =
-            states_[static_cast<size_t>(unadmitted_[unadmitted_head_])];
+    for (int idx : decision.admissions) {
+        // FCFS admissions are exactly the next unadmitted-queue heads.
+        POD_ASSERT(unadmitted_head_ < unadmitted_.size() &&
+                   unadmitted_[unadmitted_head_] == idx);
+        const RequestState& state = states_[static_cast<size_t>(idx)];
         ++running_;
         decode_tokens_pending_ += state.request.decode_tokens;
         pending_unadmitted_blocks_ -=
@@ -237,6 +252,77 @@ ServingEngine::SyncAdmissions()
     if (arrived_mark_ < unadmitted_head_) arrived_mark_ = unadmitted_head_;
 }
 
+double
+ServingEngine::ApplyLifecycleTransitions(
+    const SchedulingDecision& decision, StepResult& result)
+{
+    double swap_bytes = 0.0;
+
+    for (const auto& t : decision.restores) {
+        RequestState& state = states_[static_cast<size_t>(t.req_index)];
+        ++running_;
+        --preempted_now_;
+        decode_tokens_pending_ +=
+            state.request.decode_tokens - state.decoded;
+        // The restore reserved exactly the blocks the preemption
+        // queued as latent demand (swap footprint / prefill target).
+        pending_preempted_blocks_ -= t.blocks;
+        if (t.mode == PreemptMode::kSwap) {
+            swap_bytes += static_cast<double>(t.blocks) *
+                          kv_->BlockSize() * kv_bytes_per_token_;
+        }
+    }
+
+    for (const auto& t : decision.preemptions) {
+        RequestState& state = states_[static_cast<size_t>(t.req_index)];
+        --running_;
+        ++preempted_now_;
+        ++state.preempt_count;
+        ++result.preempted;
+        decode_tokens_pending_ -=
+            state.request.decode_tokens - state.decoded;
+        if (t.mode == PreemptMode::kRecompute) {
+            ++preemptions_recompute_;
+            // The context (prompt + generated tokens) must be
+            // re-prefilled; fold the restored work into the pending
+            // prefill counter.
+            prefill_tokens_pending_ -=
+                state.PrefillTarget() - state.prefilled;
+            state.recompute_extra = state.decoded;
+            state.prefilled = 0;
+            prefill_tokens_pending_ +=
+                state.PrefillTarget() - state.prefilled;
+            // Re-admission will reserve the new prefill target.
+            pending_preempted_blocks_ +=
+                kv_->BlocksFor(state.PrefillTarget());
+        } else {
+            ++preemptions_swap_;
+            // Swap-in will restore the evicted footprint verbatim.
+            pending_preempted_blocks_ += t.blocks;
+            swap_bytes += static_cast<double>(t.blocks) *
+                          kv_->BlockSize() * kv_bytes_per_token_;
+        }
+    }
+
+    // Roofline of the host transfer: the slower of the PCIe link and
+    // HBM feeding it (in practice PCIe-bound).
+    double swap_time = swap_bytes / swap_bandwidth_;
+    swap_time_total_ += swap_time;
+    result.swap_time = swap_time;
+    return swap_time;
+}
+
+void
+ServingEngine::FinishRequest(RequestState& state, StepResult& result)
+{
+    state.phase = Phase::kFinished;
+    state.finish_time = now_;
+    kv_->Release(state.request.id);
+    ++finished_;
+    --running_;
+    ++result.completed;
+}
+
 StepResult
 ServingEngine::Step()
 {
@@ -244,10 +330,19 @@ ServingEngine::Step()
     StepResult result;
     result.start = now_;
 
-    ScheduledBatch batch =
+    SchedulingDecision decision =
         scheduler_->Next(now_, states_, *kv_, active_begin_);
-    SyncAdmissions();
+    ApplyAdmissions(decision);
+    double swap_time = ApplyLifecycleTransitions(decision, result);
+    const ScheduledBatch& batch = decision.batch;
     if (batch.Empty()) {
+        // An empty batch implies no lifecycle activity: admitted and
+        // restored requests always contribute work, and preemption
+        // only happens while scheduling decodes.
+        POD_ASSERT(decision.admissions.empty() &&
+                   decision.restores.empty() &&
+                   decision.preemptions.empty());
+        POD_ASSERT(preempted_now_ == 0);
         // Nothing runnable: jump to the next queued arrival (the
         // first unadmitted entry beyond the arrived mark).
         POD_ASSERT_MSG(arrived_mark_ < unadmitted_.size(),
@@ -260,7 +355,10 @@ ServingEngine::Step()
         return result;
     }
 
-    double dt = IterationTime(batch, states_);
+    // Swap transfers serialize with the iteration (vLLM blocks on
+    // them), so they stretch this iteration's latency. Zero under
+    // the conservative policy.
+    double dt = IterationTime(batch, states_) + swap_time;
     now_ += dt;
     ++iterations_;
     total_batch_tokens_ += batch.TotalTokens();
@@ -270,20 +368,22 @@ ServingEngine::Step()
         RequestState& state = states_[static_cast<size_t>(p.req_index)];
         state.prefilled += p.chunk_len;
         prefill_tokens_pending_ -= p.chunk_len;
-        POD_ASSERT(state.prefilled <= state.request.prefill_tokens);
+        POD_ASSERT(state.prefilled <= state.PrefillTarget());
         if (state.PrefillDone()) {
-            // The completing iteration emits the first token.
-            state.decoded = 1;
+            // The completing iteration emits one output token: the
+            // first for a fresh prompt, the next for a request whose
+            // context a recompute preemption restored.
+            if (state.decoded == 0) {
+                state.decoded = 1;
+                state.first_token_time = now_;
+            } else {
+                state.decoded += 1;
+                state.tbt.push_back(now_ - state.last_token_time);
+            }
             decode_tokens_pending_ -= 1;
-            state.first_token_time = now_;
             state.last_token_time = now_;
             if (state.decoded >= state.request.decode_tokens) {
-                state.finished = true;
-                state.finish_time = now_;
-                kv_->Free(state.request.id);
-                ++finished_;
-                --running_;
-                ++result.completed;
+                FinishRequest(state, result);
             }
         }
     }
@@ -296,18 +396,13 @@ ServingEngine::Step()
         state.tbt.push_back(now_ - state.last_token_time);
         state.last_token_time = now_;
         if (state.decoded >= state.request.decode_tokens) {
-            state.finished = true;
-            state.finish_time = now_;
-            kv_->Free(state.request.id);
-            ++finished_;
-            --running_;
-            ++result.completed;
+            FinishRequest(state, result);
         }
     }
 
     // Maintain the finished-prefix index and the arrived mark.
     while (active_begin_ < states_.size() &&
-           states_[active_begin_].finished) {
+           states_[active_begin_].Finished()) {
         ++active_begin_;
     }
     SyncArrivals();
@@ -323,6 +418,7 @@ double
 ServingEngine::NextEventTime() const
 {
     if (running_ > 0) return now_;
+    if (preempted_now_ > 0) return now_;  // awaiting re-admission
     if (arrived_mark_ > unadmitted_head_) return now_;  // waiting work
     if (arrived_mark_ < unadmitted_.size()) {
         return states_[static_cast<size_t>(unadmitted_[arrived_mark_])]
@@ -343,6 +439,7 @@ ServingEngine::Snapshot() const
     snap.outstanding = snap.submitted - snap.finished;
     snap.waiting = static_cast<int>(arrived_mark_ - unadmitted_head_);
     snap.running = running_;
+    snap.preempted = preempted_now_;
     snap.prefill_tokens_pending = prefill_tokens_pending_;
     snap.decode_tokens_pending = decode_tokens_pending_;
     snap.iterations = iterations_;
@@ -352,9 +449,14 @@ ServingEngine::Snapshot() const
     if (kv_->TotalBlocks() > 0) {
         snap.kv_pressure =
             snap.kv_utilization +
-            static_cast<double>(pending_unadmitted_blocks_) /
+            static_cast<double>(pending_unadmitted_blocks_ +
+                                pending_preempted_blocks_) /
                 static_cast<double>(kv_->TotalBlocks());
     }
+    snap.kv_watermark_headroom = kv_->WatermarkHeadroom();
+    snap.preemptions_recompute = preemptions_recompute_;
+    snap.preemptions_swap = preemptions_swap_;
+    snap.swap_time_total = swap_time_total_;
     snap.attn_cache_entries = static_cast<long>(attn_cache_.size());
     snap.attn_cache_hits = attn_cache_hits_;
     snap.attn_cache_misses = attn_cache_misses_;
@@ -368,6 +470,9 @@ ServingEngine::Report() const
     MetricsReport report =
         CollectMetrics(states_, now_, iterations_, total_batch_tokens_);
     report.system = scheduler_->Name();
+    report.preemptions_recompute = preemptions_recompute_;
+    report.preemptions_swap = preemptions_swap_;
+    report.swap_time_total = swap_time_total_;
     return report;
 }
 

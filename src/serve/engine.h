@@ -10,12 +10,19 @@
  * Sarathi+POD), memoized over bucketed batch signatures so
  * thousand-request traces stay tractable (docs/DESIGN.md S5.4).
  *
+ * KV allocation is pluggable (docs/DESIGN.md S2): the scheduler
+ * admits, grows and evicts through a KvAllocator, and the engine
+ * applies the lifecycle consequences — recompute-preempted requests
+ * re-run their prefill, swap-preempted requests charge PCIe transfer
+ * time both ways. The conservative policy (default) reproduces the
+ * pre-redesign behaviour bit-identically.
+ *
  * Queue and KV occupancy are tracked incrementally (PR 3): running
- * counters maintained at Submit/admission/progress transitions plus a
- * finished-prefix index over the request states make Snapshot() and
- * NextEventTime() O(1) and keep each scheduling pass O(active
- * requests), so cost scales with in-flight work rather than trace
- * length (docs/DESIGN.md S8).
+ * counters maintained at Submit/admission/preemption/progress
+ * transitions plus a finished-prefix index over the request states
+ * make Snapshot() and NextEventTime() O(1) and keep each scheduling
+ * pass O(active requests), so cost scales with in-flight work rather
+ * than trace length (docs/DESIGN.md S8).
  */
 #ifndef POD_SERVE_ENGINE_H
 #define POD_SERVE_ENGINE_H
@@ -28,6 +35,7 @@
 #include "core/attention.h"
 #include "gpusim/gpu_spec.h"
 #include "model/model_config.h"
+#include "serve/kv_allocator.h"
 #include "serve/metrics.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
@@ -49,6 +57,22 @@ struct ServingConfig
 
     /** KV block size in tokens. */
     int kv_block_size = 16;
+
+    /**
+     * KV allocation policy (docs/DESIGN.md S2). kConservative
+     * reserves prompt + maximum output up front and never preempts;
+     * kWatermark models vLLM's watermark admission + preemption.
+     */
+    KvPolicy kv_policy = KvPolicy::kConservative;
+
+    /**
+     * Fraction of the KV pool kept free across admissions
+     * (kWatermark only; vLLM's `watermark`).
+     */
+    double kv_watermark = 0.01;
+
+    /** How preemption victims are evicted (kWatermark only). */
+    PreemptMode kv_preempt_mode = PreemptMode::kRecompute;
 
     /** Fraction of HBM usable for weights + KV. */
     double memory_fraction = 0.9;
@@ -90,35 +114,60 @@ struct ReplicaSnapshot
     int submitted = 0;
     int finished = 0;
 
-    /** Arrived (arrival_time <= now) but not yet admitted. */
+    /** Arrived (arrival_time <= now) but never admitted. */
     int waiting = 0;
 
     /** Admitted and unfinished (holding KV blocks). */
     int running = 0;
 
+    /** Currently preempted (evicted, awaiting re-admission). */
+    int preempted = 0;
+
     /** All unfinished submitted requests (includes future arrivals). */
     int outstanding = 0;
 
-    /** Unprocessed prompt tokens across unfinished requests. */
+    /** Unprocessed prefill tokens across unfinished requests
+     * (includes context a recompute preemption re-runs). */
     long prefill_tokens_pending = 0;
 
-    /** Remaining output tokens across admitted unfinished requests. */
+    /** Remaining output tokens across running requests. */
     long decode_tokens_pending = 0;
 
-    /** Fraction of the KV pool reserved by admitted requests. */
+    /** Fraction of the KV pool reserved by running requests. */
     double kv_utilization = 0.0;
 
     /**
-     * Reserved blocks plus the blocks every not-yet-admitted request
-     * will need, as a fraction of the pool. Can exceed 1 under
-     * overload; the least-KV-pressure router minimizes this.
+     * Reserved blocks plus the blocks every not-yet-admitted or
+     * currently-preempted request will need, as a fraction of the
+     * pool. Can exceed 1 under overload; the least-KV-pressure
+     * router minimizes this. Counting preempted requests matters:
+     * their evictions just lowered kv_utilization, but their
+     * re-admission demand is still queued on this replica.
      */
     double kv_pressure = 0.0;
+
+    /**
+     * Free-pool fraction above the allocator's admission watermark
+     * (negative when decode growth ate into the reserve). Equals the
+     * free fraction under the conservative policy (watermark 0).
+     */
+    double kv_watermark_headroom = 0.0;
 
     long kv_free_blocks = 0;
     long kv_total_blocks = 0;
 
     long iterations = 0;
+
+    // ---- request-lifecycle counters (cumulative; docs/DESIGN.md S2) ----
+
+    /** Recompute preemptions since the last Reset(). */
+    long preemptions_recompute = 0;
+
+    /** Swap preemptions since the last Reset(). */
+    long preemptions_swap = 0;
+
+    /** Swap-in + swap-out PCIe time charged so far (seconds). */
+    double swap_time_total = 0.0;
 
     /** Attention memo-cache entries (docs/DESIGN.md S5.4). */
     long attn_cache_entries = 0;
@@ -151,6 +200,12 @@ struct StepResult
     /** Requests that finished this iteration. */
     int completed = 0;
 
+    /** Requests preempted this iteration. */
+    int preempted = 0;
+
+    /** Swap transfer time included in `duration` (seconds). */
+    double swap_time = 0.0;
+
     /** KV pool utilization after the step. */
     double kv_utilization = 0.0;
 };
@@ -178,7 +233,7 @@ class ServingEngine
      */
     MetricsReport Run(std::vector<Request> requests);
 
-    /** Clear all request state and rebuild the KV pool. */
+    /** Clear all request state and rebuild the KV allocator. */
     void Reset();
 
     /**
@@ -189,8 +244,10 @@ class ServingEngine
 
     /**
      * Advance one scheduler iteration: form a batch at the current
-     * clock, charge its latency, apply prefill/decode progress. With
-     * no runnable work, jumps the clock to the next queued arrival
+     * clock, apply the scheduler's lifecycle transitions (admissions,
+     * restores, preemptions), charge the iteration latency plus any
+     * swap transfer time, apply prefill/decode progress. With no
+     * runnable work, jumps the clock to the next queued arrival
      * instead (progressed=false). Fatal if called with nothing left
      * to do — guard with Done() / NextEventTime().
      */
@@ -201,8 +258,9 @@ class ServingEngine
 
     /**
      * Time of this replica's next actionable event: `Now()` if work
-     * is runnable, the earliest queued future arrival otherwise, or
-     * +infinity when the queue is drained. O(1).
+     * is runnable (including preempted requests awaiting
+     * re-admission), the earliest queued future arrival otherwise,
+     * or +infinity when the queue is drained. O(1).
      */
     double NextEventTime() const;
 
@@ -221,6 +279,18 @@ class ServingEngine
     double TotalBatchTokens() const { return total_batch_tokens_; }
 
     const std::vector<RequestState>& States() const { return states_; }
+
+    /** The active KV allocation policy. */
+    const KvAllocator& Allocator() const { return *kv_; }
+
+    /** Recompute preemptions since the last Reset(). */
+    long PreemptionsRecompute() const { return preemptions_recompute_; }
+
+    /** Swap preemptions since the last Reset(). */
+    long PreemptionsSwap() const { return preemptions_swap_; }
+
+    /** Swap transfer time charged since the last Reset() (seconds). */
+    double SwapTimeTotal() const { return swap_time_total_; }
 
     /** Attention memo-cache entries created so far. */
     size_t AttnCacheSize() const { return attn_cache_.size(); }
@@ -243,11 +313,23 @@ class ServingEngine
                          const std::vector<RequestState>& states);
 
     /**
-     * Fold scheduler admissions into the running counters: the FCFS
+     * Fold scheduler admissions into the running counters. The FCFS
      * admission scan only ever admits a prefix of the unadmitted
-     * queue, so popping admitted heads is O(newly admitted).
+     * queue, so the decision's admission list pops queue heads in
+     * O(newly admitted).
      */
-    void SyncAdmissions();
+    void ApplyAdmissions(const SchedulingDecision& decision);
+
+    /**
+     * Fold restores and preemptions into the running counters
+     * (O(transitions), the preemption analogue of ApplyAdmissions)
+     * and return the swap transfer time these transitions charge.
+     */
+    double ApplyLifecycleTransitions(const SchedulingDecision& decision,
+                                     StepResult& result);
+
+    /** Transition one request to kFinished and release its KV. */
+    void FinishRequest(RequestState& state, StepResult& result);
 
     /** Advance the arrived-mark past entries with arrival <= now. */
     void SyncArrivals();
@@ -260,18 +342,24 @@ class ServingEngine
 
     // ---- stepping state (valid between Reset() and Done()) ----
     std::vector<RequestState> states_;
-    std::unique_ptr<BlockKvManager> kv_;
+    std::unique_ptr<KvAllocator> kv_;
     double now_ = 0.0;
     long iterations_ = 0;
     double total_batch_tokens_ = 0.0;
     size_t finished_ = 0;
+
+    /** KV bytes one token occupies on this GPU (swap sizing). */
+    double kv_bytes_per_token_ = 0.0;
+
+    /** Swap roofline: min(PCIe, HBM) bandwidth in bytes/s. */
+    double swap_bandwidth_ = 1.0;
 
     // ---- incremental queue/KV accounting (PR 3) ----
     /** states_[i] for i < active_begin_ are all finished. */
     size_t active_begin_ = 0;
 
     /**
-     * Indices of not-yet-admitted requests in submission (= arrival)
+     * Indices of never-admitted requests in submission (= arrival)
      * order. FCFS admission pops a prefix; entries before
      * arrived_mark_ have arrival_time <= now_.
      */
@@ -282,14 +370,30 @@ class ServingEngine
     /** Admitted and unfinished requests. */
     int running_ = 0;
 
-    /** Unprocessed prompt tokens across unfinished requests. */
+    /** Currently preempted requests (evicted, not finished). */
+    int preempted_now_ = 0;
+
+    /** Unprocessed prefill tokens across unfinished requests. */
     long prefill_tokens_pending_ = 0;
 
-    /** Remaining output tokens across admitted unfinished requests. */
+    /** Remaining output tokens across running requests. */
     long decode_tokens_pending_ = 0;
 
     /** KV blocks the unadmitted queue will eventually reserve. */
     long pending_unadmitted_blocks_ = 0;
+
+    /**
+     * KV blocks currently-preempted requests will re-reserve on
+     * re-admission (swap footprints / recompute prefill targets).
+     * Folded into kv_pressure so routing still sees a thrashing
+     * replica's latent demand after its evictions freed the pool.
+     */
+    long pending_preempted_blocks_ = 0;
+
+    // ---- lifecycle counters (reset by Reset()) ----
+    long preemptions_recompute_ = 0;
+    long preemptions_swap_ = 0;
+    double swap_time_total_ = 0.0;
 };
 
 }  // namespace pod::serve

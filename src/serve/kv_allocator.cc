@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Implementation of the KV allocation policies.
+ */
+#include "serve/kv_allocator.h"
+
+#include "common/logging.h"
+
+namespace pod::serve {
+
+// ---------------------------------------------------- conservative
+
+ConservativeKvAllocator::ConservativeKvAllocator(long total_blocks,
+                                                 int block_size)
+    : KvAllocator(total_blocks, block_size)
+{
+}
+
+bool
+ConservativeKvAllocator::TryAdmit(const RequestState& state)
+{
+    // This policy never evicts, so the only admissible phase is a
+    // fresh submission.
+    POD_ASSERT(state.phase == Phase::kQueued);
+    return pool_.Reserve(state.request.id, state.request.prefill_tokens +
+                                               state.request.decode_tokens);
+}
+
+bool
+ConservativeKvAllocator::CanAppend(const RequestState& state) const
+{
+    (void)state;
+    return true;  // the admission reservation covers every token
+}
+
+void
+ConservativeKvAllocator::Append(const RequestState& state)
+{
+    (void)state;  // nothing to grow
+}
+
+long
+ConservativeKvAllocator::Evict(const RequestState& state, PreemptMode mode)
+{
+    (void)state;
+    (void)mode;
+    Panic("ConservativeKvAllocator can never need an eviction");
+}
+
+void
+ConservativeKvAllocator::CheckFits(const RequestState& state) const
+{
+    POD_CHECK_ARG(pool_.BlocksFor(state.request.prefill_tokens +
+                                  state.request.decode_tokens) <=
+                      pool_.TotalBlocks(),
+                  "request larger than the entire KV pool");
+}
+
+// ------------------------------------------------------- watermark
+
+WatermarkKvAllocator::WatermarkKvAllocator(long total_blocks,
+                                           int block_size,
+                                           double watermark,
+                                           PreemptMode preempt_mode)
+    : KvAllocator(total_blocks, block_size),
+      watermark_(watermark),
+      preempt_mode_(preempt_mode),
+      watermark_blocks_(static_cast<long>(watermark * total_blocks))
+{
+    POD_CHECK_ARG(watermark >= 0.0 && watermark < 1.0,
+                  "kv_watermark must be in [0, 1)");
+}
+
+bool
+WatermarkKvAllocator::TryAdmit(const RequestState& state)
+{
+    const int id = state.request.id;
+    long needed;
+    if (state.phase == Phase::kPreemptedSwapped) {
+        // Swap-in restores the exact evicted footprint.
+        auto it = swapped_out_.find(id);
+        POD_ASSERT(it != swapped_out_.end());
+        needed = it->second;
+    } else {
+        // Fresh or recompute-restored context: blocks for the
+        // prompt (plus any generated tokens a recompute rebuilds);
+        // decode growth comes later through Append().
+        needed = pool_.BlocksFor(state.PrefillTarget());
+    }
+    // vLLM's watermark rule: admit only if the pool stays above the
+    // watermark afterwards, so short bursts of decode growth do not
+    // immediately preempt what was just admitted.
+    if (pool_.FreeBlocks() - needed < watermark_blocks_) return false;
+    bool ok = pool_.ReserveBlocks(id, needed);
+    POD_ASSERT(ok);  // the watermark check implies it fits
+    if (state.phase == Phase::kPreemptedSwapped) swapped_out_.erase(id);
+    return true;
+}
+
+long
+WatermarkKvAllocator::AppendNeed(const RequestState& state) const
+{
+    return pool_.BlocksFor(state.ContextLen() + 1) -
+           pool_.Held(state.request.id);
+}
+
+bool
+WatermarkKvAllocator::CanAppend(const RequestState& state) const
+{
+    long need = AppendNeed(state);
+    return need <= 0 || pool_.FreeBlocks() >= need;
+}
+
+void
+WatermarkKvAllocator::Append(const RequestState& state)
+{
+    long need = AppendNeed(state);
+    if (need <= 0) return;
+    bool ok = pool_.Grow(state.request.id, need);
+    POD_ASSERT_MSG(ok, "Append() without CanAppend() on request %d",
+                   state.request.id);
+}
+
+long
+WatermarkKvAllocator::Evict(const RequestState& state, PreemptMode mode)
+{
+    long blocks = pool_.Free(state.request.id);
+    if (mode == PreemptMode::kSwap) {
+        swapped_out_[state.request.id] = blocks;
+    }
+    return blocks;
+}
+
+void
+WatermarkKvAllocator::CheckFits(const RequestState& state) const
+{
+    // The worst-case on-device footprint is the full context (prompt
+    // + all output tokens); if that cannot coexist with the admission
+    // watermark even in an empty pool, the request would starve the
+    // scheduler forever.
+    POD_CHECK_ARG(pool_.BlocksFor(state.request.prefill_tokens +
+                                  state.request.decode_tokens) +
+                          watermark_blocks_ <=
+                      pool_.TotalBlocks(),
+                  "request larger than the KV pool minus the "
+                  "admission watermark");
+}
+
+long
+WatermarkKvAllocator::SwappedBlocks(int request_id) const
+{
+    auto it = swapped_out_.find(request_id);
+    return it != swapped_out_.end() ? it->second : 0;
+}
+
+// --------------------------------------------------------- factory
+
+std::unique_ptr<KvAllocator>
+MakeKvAllocator(KvPolicy policy, long total_blocks, int block_size,
+                double watermark, PreemptMode preempt_mode)
+{
+    switch (policy) {
+        case KvPolicy::kConservative:
+            return std::make_unique<ConservativeKvAllocator>(total_blocks,
+                                                             block_size);
+        case KvPolicy::kWatermark:
+            return std::make_unique<WatermarkKvAllocator>(
+                total_blocks, block_size, watermark, preempt_mode);
+    }
+    Panic("unknown KvPolicy");
+}
+
+}  // namespace pod::serve

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Pluggable KV-cache allocation policies for the serving engine
+ * (docs/DESIGN.md S2).
+ *
+ * The allocator owns the admission/growth/eviction *policy* over a
+ * raw block ledger (serve/kv_manager.h). Two policies ship:
+ *
+ *  - ConservativeKvAllocator (default): a request reserves blocks for
+ *    its full prompt plus maximum output up front, so growth never
+ *    allocates and preemption can never be needed. This is the
+ *    pre-redesign behaviour, kept bit-identical.
+ *  - WatermarkKvAllocator: vLLM semantics. Admission reserves the
+ *    prompt only and is gated on a free-block watermark; decode
+ *    tokens grow the reservation one block at a time as they
+ *    materialize (CanAppend/Append); under pressure the scheduler
+ *    evicts victims (Evict), which either re-prefill their context
+ *    (recompute) or park their blocks in host memory and pay PCIe
+ *    transfer time both ways (swap).
+ *
+ * Only allocator implementations construct a BlockKvManager; every
+ * other layer talks to this interface.
+ */
+#ifndef POD_SERVE_KV_ALLOCATOR_H
+#define POD_SERVE_KV_ALLOCATOR_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "serve/kv_manager.h"
+#include "serve/request.h"
+
+namespace pod::serve {
+
+/** How an evicted request's KV is recovered on re-admission. */
+enum class PreemptMode {
+    kRecompute,  ///< Drop the KV; re-run prefill over the context.
+    kSwap,       ///< Park blocks in host memory; PCIe both ways.
+};
+
+/** Allocation policy selector (ServingConfig::kv_policy). */
+enum class KvPolicy {
+    kConservative,  ///< Whole-request up-front reservation (default).
+    kWatermark,     ///< vLLM watermark admission + preemption.
+};
+
+/** KV allocation-policy interface. */
+class KvAllocator
+{
+  public:
+    virtual ~KvAllocator() = default;
+
+    /**
+     * Try to move a request into the running set, reserving the
+     * blocks the policy requires up front. Handles all admissible
+     * phases: kQueued (fresh or recompute-restored context) and
+     * kPreemptedSwapped / kPreemptedRecompute (re-admission).
+     * @return true and the reservation is made; false leaves the
+     *         pool untouched.
+     */
+    virtual bool TryAdmit(const RequestState& state) = 0;
+
+    /**
+     * Can the running request grow by the one token the next
+     * iteration materializes (context ContextLen() + 1)?
+     */
+    virtual bool CanAppend(const RequestState& state) const = 0;
+
+    /**
+     * Grow the running request's reservation for that token.
+     * Call only after CanAppend() returned true this iteration.
+     */
+    virtual void Append(const RequestState& state) = 0;
+
+    /**
+     * Evict a running request's blocks (preemption). In kSwap mode
+     * the footprint is remembered so re-admission restores it
+     * exactly; in kRecompute mode it is simply dropped.
+     * @return blocks freed (the swap-out transfer size).
+     */
+    virtual long Evict(const RequestState& state, PreemptMode mode) = 0;
+
+    /** Release a finished request's blocks. */
+    virtual void Release(int request_id) { pool_.Free(request_id); }
+
+    /**
+     * Fatal if the request could never be admitted by this policy
+     * even against an empty pool (guards the scheduler against
+     * spinning forever on an impossible request).
+     */
+    virtual void CheckFits(const RequestState& state) const = 0;
+
+    /** How this policy prefers to preempt victims. */
+    virtual PreemptMode preempt_mode() const { return PreemptMode::kRecompute; }
+
+    /** Admission watermark as a fraction of the pool (0 = none). */
+    virtual double WatermarkFraction() const { return 0.0; }
+
+    /** Policy name for reports. */
+    virtual std::string Name() const = 0;
+
+    // ---- pool observers (shared ledger) ----
+    long BlocksFor(int tokens) const { return pool_.BlocksFor(tokens); }
+    long TotalBlocks() const { return pool_.TotalBlocks(); }
+    long UsedBlocks() const { return pool_.UsedBlocks(); }
+    long FreeBlocks() const { return pool_.FreeBlocks(); }
+    int BlockSize() const { return pool_.BlockSize(); }
+    double Utilization() const { return pool_.Utilization(); }
+
+    /** Blocks currently reserved on-device by a request. */
+    long Held(int request_id) const { return pool_.Held(request_id); }
+
+    /**
+     * Free-pool headroom above the admission watermark, as a
+     * fraction of the pool. Negative when decode growth has eaten
+     * into the watermark reserve (growth is never watermark-gated;
+     * only admission is).
+     */
+    double
+    WatermarkHeadroom() const
+    {
+        return static_cast<double>(FreeBlocks()) / TotalBlocks() -
+               WatermarkFraction();
+    }
+
+  protected:
+    KvAllocator(long total_blocks, int block_size)
+        : pool_(total_blocks, block_size)
+    {
+    }
+
+    BlockKvManager pool_;
+};
+
+/**
+ * Today's semantics, unchanged: admit only when the full prompt +
+ * maximum output fits, so a running request never needs another
+ * block. Keeps all pre-redesign goldens bit-identical.
+ */
+class ConservativeKvAllocator : public KvAllocator
+{
+  public:
+    ConservativeKvAllocator(long total_blocks, int block_size);
+
+    bool TryAdmit(const RequestState& state) override;
+    bool CanAppend(const RequestState& state) const override;
+    void Append(const RequestState& state) override;
+    long Evict(const RequestState& state, PreemptMode mode) override;
+    void CheckFits(const RequestState& state) const override;
+
+    std::string Name() const override { return "conservative"; }
+};
+
+/**
+ * vLLM semantics: watermark-gated prompt-only admission, incremental
+ * decode growth, eviction under pressure.
+ */
+class WatermarkKvAllocator : public KvAllocator
+{
+  public:
+    /**
+     * @param watermark fraction of the pool that must stay free
+     *        after an admission (vLLM's `watermark`, default 0.01).
+     * @param preempt_mode how the scheduler should evict victims.
+     */
+    WatermarkKvAllocator(long total_blocks, int block_size,
+                         double watermark, PreemptMode preempt_mode);
+
+    bool TryAdmit(const RequestState& state) override;
+    bool CanAppend(const RequestState& state) const override;
+    void Append(const RequestState& state) override;
+    long Evict(const RequestState& state, PreemptMode mode) override;
+    void CheckFits(const RequestState& state) const override;
+
+    PreemptMode preempt_mode() const override { return preempt_mode_; }
+    double WatermarkFraction() const override { return watermark_; }
+
+    std::string Name() const override { return "watermark"; }
+
+    /** Blocks parked in host memory for a swapped-out request. */
+    long SwappedBlocks(int request_id) const;
+
+  private:
+    /** Blocks the next materialized token needs beyond those held. */
+    long AppendNeed(const RequestState& state) const;
+
+    double watermark_;
+    PreemptMode preempt_mode_;
+    long watermark_blocks_;
+
+    /** Host-side footprints of swapped-out requests. */
+    std::unordered_map<int, long> swapped_out_;
+};
+
+/**
+ * Build the allocator for a policy. `watermark` and `preempt_mode`
+ * only apply to KvPolicy::kWatermark.
+ */
+std::unique_ptr<KvAllocator> MakeKvAllocator(KvPolicy policy,
+                                             long total_blocks,
+                                             int block_size,
+                                             double watermark,
+                                             PreemptMode preempt_mode);
+
+}  // namespace pod::serve
+
+#endif  // POD_SERVE_KV_ALLOCATOR_H

@@ -1,7 +1,13 @@
 /**
  * @file
- * Block-based KV cache accounting for the serving engine
- * (PagedAttention-style admission control).
+ * Block-based KV cache accounting (PagedAttention-style bookkeeping).
+ *
+ * BlockKvManager is the raw block ledger: it tracks which request
+ * holds how many blocks and nothing else. Admission *policy* — when a
+ * reservation may happen, whether requests grow incrementally, who
+ * gets evicted under pressure — lives in the KvAllocator
+ * implementations (serve/kv_allocator.h), which are the only code
+ * that should construct one (docs/DESIGN.md S2).
  */
 #ifndef POD_SERVE_KV_MANAGER_H
 #define POD_SERVE_KV_MANAGER_H
@@ -13,21 +19,25 @@
 namespace pod::serve {
 
 /**
- * Tracks KV block allocation per request. Admission is conservative:
- * a request reserves blocks for its full prompt plus maximum output
- * up front, so no preemption is ever needed (documented deviation
- * from vLLM's watermark+preemption scheme; docs/DESIGN.md S2).
+ * Tracks KV block allocation per request. Pure accounting: every
+ * operation is a ledger update; misuse (double reserve, double free,
+ * freeing an unknown request) is fatal rather than silently absorbed,
+ * so policy bugs in the allocators surface at the call site.
  */
 class BlockKvManager
 {
   public:
     /**
-     * @param total_blocks capacity of the device KV pool.
+     * @param total_blocks capacity of the device KV pool; must be
+     *        >= 1 (a zero-capacity pool would make every admission
+     *        path a silent no-op) and small enough that the pool's
+     *        token capacity `total_blocks * block_size` fits in a
+     *        long.
      * @param block_size tokens per block.
      */
     BlockKvManager(long total_blocks, int block_size);
 
-    /** Blocks needed to hold `tokens` tokens. */
+    /** Blocks needed to hold `tokens` tokens; `tokens` must be >= 0. */
     long BlocksFor(int tokens) const;
 
     /** True if a reservation of `tokens` tokens would fit now. */
@@ -36,8 +46,27 @@ class BlockKvManager
     /** Reserve blocks for a request; false if out of capacity. */
     bool Reserve(int request_id, int tokens);
 
-    /** Release a request's blocks. */
-    void Free(int request_id);
+    /**
+     * Reserve an explicit block count (swap-in restores a preempted
+     * request's exact footprint). False if out of capacity.
+     */
+    bool ReserveBlocks(int request_id, long blocks);
+
+    /**
+     * Grow an existing reservation by `extra_blocks` (incremental
+     * decode growth). False if out of capacity; fatal if the request
+     * holds no reservation.
+     */
+    bool Grow(int request_id, long extra_blocks);
+
+    /** Blocks currently held by a request (0 if none reserved). */
+    long Held(int request_id) const;
+
+    /**
+     * Release a request's blocks and return how many were freed.
+     * Fatal on double-free / freeing an unknown request.
+     */
+    long Free(int request_id);
 
     long TotalBlocks() const { return total_blocks_; }
     long UsedBlocks() const { return used_blocks_; }

@@ -30,7 +30,9 @@ CollectMetrics(const std::vector<RequestState>& states, double makespan,
     int stalled_200 = 0;
     int stalled_500 = 0;
     for (const auto& state : states) {
-        POD_ASSERT(state.finished);
+        POD_ASSERT(state.Finished());
+        report.preemptions += state.preempt_count;
+        if (state.preempt_count > 0) ++report.requests_preempted;
         report.ttft.Add(state.first_token_time -
                         state.request.arrival_time);
         report.latency.Add(state.finish_time - state.request.arrival_time);

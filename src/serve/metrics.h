@@ -47,6 +47,25 @@ struct MetricsReport
 
     /** Mean tokens per scheduled batch. */
     double mean_batch_tokens = 0.0;
+
+    // ---- request-lifecycle counters (docs/DESIGN.md S2) ----
+    // Always zero under the conservative KV allocator; the watermark
+    // allocator's preemption behaviour is pinned by these counters.
+
+    /** Total preemption events (sum of per-request preempt counts). */
+    long preemptions = 0;
+
+    /** Preemptions resolved by recomputing the context. */
+    long preemptions_recompute = 0;
+
+    /** Preemptions resolved by swapping KV to host memory. */
+    long preemptions_swap = 0;
+
+    /** Requests preempted at least once. */
+    int requests_preempted = 0;
+
+    /** Total swap-in + swap-out transfer time charged (seconds). */
+    double swap_time_total = 0.0;
 };
 
 /** Build a report from final request states. */

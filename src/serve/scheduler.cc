@@ -13,25 +13,102 @@ namespace pod::serve {
 namespace {
 
 /**
- * Admit arrived, un-admitted requests FCFS while the KV pool can hold
- * their full prompt + maximum output (conservative reservation; see
- * BlockKvManager). Head-of-line blocking preserved: admission stops
- * at the first request that does not fit.
+ * Admission and re-admission, FCFS with head-of-line blocking.
+ *
+ * One scan in index (= arrival) order over unfinished, non-running
+ * requests. Because admission is strictly FCFS, every ever-admitted
+ * (hence every preempted) request precedes every never-admitted one,
+ * so the scan naturally restores preempted requests before admitting
+ * new arrivals — vLLM's rule that waiting requests stay blocked
+ * while preempted work exists. Admission stops at the first request
+ * the allocator rejects (head-of-line blocking preserved, exactly
+ * the pre-redesign AdmitFcfs behaviour under the conservative
+ * policy).
  */
 void
-AdmitFcfs(double now, std::vector<RequestState>& requests,
-          BlockKvManager& kv, size_t active_begin)
+PlanAdmissions(double now, std::vector<RequestState>& requests,
+               KvAllocator& kv, size_t active_begin,
+               SchedulingDecision& decision)
 {
     for (size_t i = active_begin; i < requests.size(); ++i) {
         RequestState& state = requests[i];
-        if (state.finished || state.admitted) continue;
+        if (state.Finished() || state.Admitted()) continue;
+        if (state.Preempted()) {
+            PreemptMode mode = state.phase == Phase::kPreemptedSwapped
+                                   ? PreemptMode::kSwap
+                                   : PreemptMode::kRecompute;
+            if (!kv.TryAdmit(state)) break;
+            state.phase = Phase::kRunning;
+            decision.restores.push_back(SchedulingDecision::Transition{
+                static_cast<int>(i), mode, kv.Held(state.request.id)});
+            continue;
+        }
         if (state.request.arrival_time > now) break;  // sorted by arrival
-        int total_tokens =
-            state.request.prefill_tokens + state.request.decode_tokens;
-        POD_CHECK_ARG(kv.BlocksFor(total_tokens) <= kv.TotalBlocks(),
-                      "request larger than the entire KV pool");
-        if (!kv.Reserve(state.request.id, total_tokens)) break;
-        state.admitted = true;
+        kv.CheckFits(state);
+        if (!kv.TryAdmit(state)) break;
+        state.phase = Phase::kRunning;
+        decision.admissions.push_back(static_cast<int>(i));
+    }
+}
+
+/** Evict one running request and record the transition. */
+void
+Preempt(std::vector<RequestState>& requests, int req_index,
+        KvAllocator& kv, SchedulingDecision& decision)
+{
+    RequestState& state = requests[static_cast<size_t>(req_index)];
+    PreemptMode mode = kv.preempt_mode();
+    long blocks = kv.Evict(state, mode);
+    state.phase = mode == PreemptMode::kSwap ? Phase::kPreemptedSwapped
+                                             : Phase::kPreemptedRecompute;
+    decision.preemptions.push_back(
+        SchedulingDecision::Transition{req_index, mode, blocks});
+}
+
+/**
+ * Schedule running decodes, growing each reservation for the token
+ * this iteration materializes. When the pool cannot grow, victims
+ * are evicted from the back of the *decoding* set (latest arrival =
+ * lowest priority among decoders, vLLM's preemption order).
+ * Admitted requests still mid-prefill are deliberately exempt from
+ * victimhood: their prompt blocks were reserved at admission, they
+ * allocate nothing per iteration, and evicting half-processed
+ * prefills would burn strictly more recompute work than evicting a
+ * decoder frees. The frontmost decoder can always proceed because
+ * admission guaranteed its worst-case footprint fits the pool
+ * (KvAllocator::CheckFits).
+ */
+void
+ScheduleDecodes(std::vector<RequestState>& requests, KvAllocator& kv,
+                size_t active_begin, int max_num_seqs,
+                SchedulingDecision& decision)
+{
+    std::vector<int> running;
+    for (size_t i = active_begin; i < requests.size(); ++i) {
+        if (requests[i].Admitted() && requests[i].DecodePending()) {
+            running.push_back(static_cast<int>(i));
+        }
+    }
+    size_t lo = 0;
+    size_t hi = running.size();  // victims pop from the back of [lo, hi)
+    while (lo < hi) {
+        RequestState& state = requests[static_cast<size_t>(running[lo])];
+        while (!kv.CanAppend(state) && hi - lo > 1) {
+            --hi;
+            Preempt(requests, running[hi], kv, decision);
+        }
+        if (!kv.CanAppend(state)) {
+            Preempt(requests, running[lo], kv, decision);
+            ++lo;
+            continue;
+        }
+        kv.Append(state);
+        decision.batch.decodes.push_back(running[lo]);
+        ++lo;
+        if (static_cast<int>(decision.batch.decodes.size()) >=
+            max_num_seqs) {
+            break;
+        }
     }
 }
 
@@ -44,45 +121,38 @@ VllmScheduler::VllmScheduler(int max_batched_tokens, int max_num_seqs)
     POD_CHECK_ARG(max_num_seqs >= 1, "sequence cap must be >= 1");
 }
 
-ScheduledBatch
+SchedulingDecision
 VllmScheduler::Next(double now, std::vector<RequestState>& requests,
-                    BlockKvManager& kv, size_t active_begin)
+                    KvAllocator& kv, size_t active_begin)
 {
-    AdmitFcfs(now, requests, kv, active_begin);
-    ScheduledBatch batch;
+    SchedulingDecision decision;
+    PlanAdmissions(now, requests, kv, active_begin, decision);
+    ScheduledBatch& batch = decision.batch;
 
     // Prefill-prioritizing: if any admitted prompt is unprocessed,
     // run a prefill-only iteration over whole prompts (no chunking).
+    // Prompt blocks were reserved at admission, so prefill-only
+    // iterations never grow the pool and never preempt.
     int tokens = 0;
     for (size_t i = active_begin; i < requests.size(); ++i) {
         RequestState& state = requests[i];
-        if (!state.admitted || state.finished || state.PrefillDone()) {
-            continue;
-        }
-        int remaining = state.request.prefill_tokens - state.prefilled;
+        if (!state.Admitted() || state.PrefillDone()) continue;
+        int remaining = state.PrefillTarget() - state.prefilled;
         if (!batch.prefills.empty() &&
             (tokens + remaining > max_batched_tokens_ ||
              static_cast<int>(batch.prefills.size()) >= max_num_seqs_)) {
             break;
         }
         batch.prefills.push_back(ScheduledBatch::PrefillChunk{
-            static_cast<int>(i), remaining, state.request.prefill_tokens});
+            static_cast<int>(i), remaining, state.PrefillTarget()});
         tokens += remaining;
     }
     if (!batch.prefills.empty()) {
-        return batch;  // decodes pause: the generation stall (Fig. 2a)
+        return decision;  // decodes pause: the generation stall (Fig. 2a)
     }
 
-    for (size_t i = active_begin; i < requests.size(); ++i) {
-        if (requests[i].admitted && !requests[i].finished &&
-            requests[i].DecodePending()) {
-            batch.decodes.push_back(static_cast<int>(i));
-            if (static_cast<int>(batch.decodes.size()) >= max_num_seqs_) {
-                break;
-            }
-        }
-    }
-    return batch;
+    ScheduleDecodes(requests, kv, active_begin, max_num_seqs_, decision);
+    return decision;
 }
 
 SarathiScheduler::SarathiScheduler(int token_budget, int max_num_seqs)
@@ -92,39 +162,32 @@ SarathiScheduler::SarathiScheduler(int token_budget, int max_num_seqs)
     POD_CHECK_ARG(max_num_seqs >= 1, "sequence cap must be >= 1");
 }
 
-ScheduledBatch
+SchedulingDecision
 SarathiScheduler::Next(double now, std::vector<RequestState>& requests,
-                       BlockKvManager& kv, size_t active_begin)
+                       KvAllocator& kv, size_t active_begin)
 {
-    AdmitFcfs(now, requests, kv, active_begin);
-    ScheduledBatch batch;
+    SchedulingDecision decision;
+    PlanAdmissions(now, requests, kv, active_begin, decision);
+    ScheduledBatch& batch = decision.batch;
 
     // All running decodes join every iteration: stall-free batching.
-    for (size_t i = active_begin; i < requests.size(); ++i) {
-        if (requests[i].admitted && !requests[i].finished &&
-            requests[i].DecodePending()) {
-            batch.decodes.push_back(static_cast<int>(i));
-            if (static_cast<int>(batch.decodes.size()) >= max_num_seqs_) {
-                break;
-            }
-        }
-    }
+    ScheduleDecodes(requests, kv, active_begin, max_num_seqs_, decision);
 
     // Prefill chunks fill the remaining token budget (paper S2.1).
+    // Chunks draw on blocks reserved at admission, so they never
+    // allocate — a decode-evicted victim cannot be re-hit here.
     int budget =
         std::max(0, token_budget_ - static_cast<int>(batch.decodes.size()));
     for (size_t i = active_begin; i < requests.size() && budget > 0; ++i) {
         RequestState& state = requests[i];
-        if (!state.admitted || state.finished || state.PrefillDone()) {
-            continue;
-        }
-        int remaining = state.request.prefill_tokens - state.prefilled;
+        if (!state.Admitted() || state.PrefillDone()) continue;
+        int remaining = state.PrefillTarget() - state.prefilled;
         int chunk = std::min(budget, remaining);
         batch.prefills.push_back(ScheduledBatch::PrefillChunk{
             static_cast<int>(i), chunk, state.prefilled + chunk});
         budget -= chunk;
     }
-    return batch;
+    return decision;
 }
 
 }  // namespace pod::serve

@@ -12,6 +12,13 @@
  *  - SarathiScheduler: chunked prefills + stall-free hybrid batching.
  *    Every iteration carries all running decodes plus prefill chunks
  *    filling the remaining token budget (bounded TBT, higher TTFT).
+ *
+ * Next() returns a SchedulingDecision: the batch to execute plus the
+ * request-lifecycle transitions the scheduler performed against the
+ * KvAllocator while forming it — admissions, preempted-request
+ * restores, and ordered preemptions. The scheduler mutates only
+ * phases and the allocator; the engine applies the progress, counter
+ * and timing consequences (docs/DESIGN.md S2).
  */
 #ifndef POD_SERVE_SCHEDULER_H
 #define POD_SERVE_SCHEDULER_H
@@ -20,7 +27,7 @@
 #include <string>
 #include <vector>
 
-#include "serve/kv_manager.h"
+#include "serve/kv_allocator.h"
 #include "serve/request.h"
 
 namespace pod::serve {
@@ -58,6 +65,34 @@ struct ScheduledBatch
     }
 };
 
+/**
+ * One scheduler iteration's output: the batch plus every lifecycle
+ * transition performed while forming it.
+ */
+struct SchedulingDecision
+{
+    /** A request moving between the running set and a preempted /
+     * queued phase. `blocks` is the on-device block count moved
+     * (the swap transfer size when mode == kSwap). */
+    struct Transition
+    {
+        int req_index = 0;
+        PreemptMode mode = PreemptMode::kRecompute;
+        long blocks = 0;
+    };
+
+    ScheduledBatch batch;
+
+    /** Queued -> Running, in admission (FCFS) order. */
+    std::vector<int> admissions;
+
+    /** Preempted* -> Running, in restore order. */
+    std::vector<Transition> restores;
+
+    /** Running -> Preempted*, in eviction order. */
+    std::vector<Transition> preemptions;
+};
+
 /** Scheduler interface. */
 class Scheduler
 {
@@ -65,12 +100,24 @@ class Scheduler
     virtual ~Scheduler() = default;
 
     /**
-     * Choose the next batch.
+     * Choose the next batch and perform admission / restore /
+     * eviction against the allocator.
+     *
+     * Contract on an empty batch: returning an empty batch tells the
+     * engine nothing is runnable, so it must coincide with an empty
+     * decision (no admissions, restores or preemptions) and no
+     * request may be left in a preempted phase — the engine responds
+     * by jumping the clock to the next queued arrival and asserts
+     * these invariants. Both in-tree schedulers satisfy this
+     * structurally (an admitted or restored request always
+     * contributes prefill or decode work to the batch).
+     *
      * @param now current time (requests with arrival_time > now are
      *        invisible).
-     * @param requests all request states (scheduler may admit by
-     *        setting admitted and reserving KV).
-     * @param kv block pool for admission control.
+     * @param requests all request states (the scheduler moves
+     *        phases; the engine applies everything else).
+     * @param kv allocation policy for admission control, incremental
+     *        growth and eviction.
      * @param active_begin first index that may be unfinished: every
      *        request before it has finished, so scans start there and
      *        stay O(active) on long traces (docs/DESIGN.md S8). Pass
@@ -78,10 +125,10 @@ class Scheduler
      *        virtuals bind by static type and would silently pin
      *        overrides to the base value).
      */
-    virtual ScheduledBatch Next(double now,
-                                std::vector<RequestState>& requests,
-                                BlockKvManager& kv,
-                                size_t active_begin) = 0;
+    virtual SchedulingDecision Next(double now,
+                                    std::vector<RequestState>& requests,
+                                    KvAllocator& kv,
+                                    size_t active_begin) = 0;
 
     /** Policy name for reports. */
     virtual std::string Name() const = 0;
@@ -98,9 +145,10 @@ class VllmScheduler : public Scheduler
     explicit VllmScheduler(int max_batched_tokens = 16384,
                            int max_num_seqs = 256);
 
-    ScheduledBatch Next(double now, std::vector<RequestState>& requests,
-                        BlockKvManager& kv,
-                        size_t active_begin) override;
+    SchedulingDecision Next(double now,
+                            std::vector<RequestState>& requests,
+                            KvAllocator& kv,
+                            size_t active_begin) override;
 
     std::string Name() const override { return "vLLM"; }
 
@@ -122,9 +170,10 @@ class SarathiScheduler : public Scheduler
     explicit SarathiScheduler(int token_budget = 512,
                               int max_num_seqs = 256);
 
-    ScheduledBatch Next(double now, std::vector<RequestState>& requests,
-                        BlockKvManager& kv,
-                        size_t active_begin) override;
+    SchedulingDecision Next(double now,
+                            std::vector<RequestState>& requests,
+                            KvAllocator& kv,
+                            size_t active_begin) override;
 
     std::string Name() const override { return "Sarathi"; }
 

@@ -206,6 +206,53 @@ TEST(ClusterEngineTest, RepeatedRunsBitIdentical)
     }
 }
 
+TEST(ClusterEngineTest, WatermarkFleetSurfacesPreemptionCounters)
+{
+    // An overloaded 2-replica watermark fleet must preempt, drain,
+    // and roll the lifecycle counters up into ClusterMetricsReport
+    // (fleet + per-replica), satisfying the end-to-end acceptance
+    // path for the preemption redesign.
+    serve::ServingConfig config = BaseConfig();
+    config.memory_fraction = 0.0958;  // few-thousand-token KV pool
+    config.kv_policy = serve::KvPolicy::kWatermark;
+    config.kv_preempt_mode = serve::PreemptMode::kSwap;
+    config.kv_bucket = 4096;
+    config.context_bucket = 4096;
+    config.decode_bs_bucket = 32;
+
+    std::vector<serve::Request> trace;
+    for (int i = 0; i < 20; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.arrival_time = 0.05 * i;
+        r.prefill_tokens = 384 + 128 * (i % 3);
+        r.decode_tokens = 384 + 96 * (i % 4);
+        trace.push_back(r);
+    }
+
+    ClusterEngine cluster(ClusterConfig::Homogeneous(config, 2),
+                          SarathiFactory(512),
+                          std::make_unique<PreemptionAwareRouter>());
+    ClusterMetricsReport report = cluster.Run(trace);
+
+    EXPECT_EQ(report.fleet.num_requests, 20);
+    EXPECT_EQ(report.fleet.latency.Count(), 20u);
+    EXPECT_GT(report.preemptions, 0l);
+    EXPECT_EQ(report.preemptions_swap, report.preemptions);
+    EXPECT_EQ(report.preemptions_recompute, 0l);
+    EXPECT_GT(report.swap_time_total, 0.0);
+    // Fleet MetricsReport mirrors the rollup.
+    EXPECT_EQ(report.fleet.preemptions, report.preemptions);
+    EXPECT_EQ(report.fleet.preemptions_swap, report.preemptions_swap);
+    EXPECT_EQ(report.fleet.swap_time_total, report.swap_time_total);
+    // Per-replica reports sum to the fleet counters.
+    long per_replica_preemptions = 0;
+    for (const auto& replica : report.per_replica) {
+        per_replica_preemptions += replica.preemptions;
+    }
+    EXPECT_EQ(per_replica_preemptions, report.preemptions);
+}
+
 TEST(ClusterEngineDeathTest, EmptyFleetIsFatal)
 {
     EXPECT_EXIT(ClusterConfig::Homogeneous(BaseConfig(), 0),

@@ -78,6 +78,28 @@ TEST(PrefillAwareRouterTest, LongPromptsAvoidDecodeHeavyReplicas)
     EXPECT_EQ(router.Route(Req(512), replicas), 0);
 }
 
+TEST(PreemptionAwareRouterTest, AvoidsThrashingReplicas)
+{
+    PreemptionAwareRouter router;
+    std::vector<serve::ReplicaSnapshot> replicas = {
+        Snap(0, 1, 0.1, 100), Snap(1, 9, 0.9, 900),
+        Snap(2, 3, 0.3, 300)};
+    replicas[0].preempted = 2;  // actively thrashing
+    replicas[1].preempted = 0;
+    replicas[2].preempted = 1;
+    replicas[0].kv_watermark_headroom = 0.8;
+    replicas[1].kv_watermark_headroom = 0.05;
+    replicas[2].kv_watermark_headroom = 0.4;
+    // Replica 1 wins despite the deepest queue: nothing evicted.
+    EXPECT_EQ(router.Route(Req(100), replicas), 1);
+
+    // Preemption tie: the most watermark headroom wins.
+    replicas[1].preempted = 1;
+    replicas[2].preempted = 1;
+    replicas[0].preempted = 1;
+    EXPECT_EQ(router.Route(Req(100), replicas), 0);
+}
+
 TEST(MakeRouterTest, BuildsEveryNamedPolicy)
 {
     for (const std::string& name : RouterNames()) {

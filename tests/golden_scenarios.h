@@ -175,6 +175,30 @@ ServeTrace()
     return trace;
 }
 
+/**
+ * A deterministic overload trace for the preemption tests: a fast
+ * burst of moderate prompts with long decode chains. Paired with a
+ * shrunken KV pool (ServingConfig::memory_fraction ~ 0.1), the
+ * watermark allocator admits several requests on prompt blocks alone
+ * and then runs out of room as their decodes grow — the regime where
+ * vLLM preempts. examples/preemption.cpp mirrors this formula
+ * inline (examples cannot include tests/); keep the two in sync.
+ */
+inline std::vector<serve::Request>
+OverloadTrace(int count = 12)
+{
+    std::vector<serve::Request> trace;
+    for (int i = 0; i < count; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.arrival_time = 0.05 * i;
+        r.prefill_tokens = 384 + 128 * (i % 3);
+        r.decode_tokens = 384 + 96 * (i % 4);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
 /** A denser 48-request variant for the cluster regression. */
 inline std::vector<serve::Request>
 ClusterTrace()

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "serve/engine.h"
+#include "serve/kv_allocator.h"
 #include "serve/scheduler.h"
 #include "serve/trace.h"
 
@@ -30,9 +31,23 @@ TEST(FailureInjection, RequestLargerThanPoolIsFatal)
     // A single request whose prompt + output exceeds the entire KV
     // pool can never be admitted; the scheduler must fail loudly
     // instead of spinning forever.
-    BlockKvManager kv(4, 16);  // 64 tokens total
+    ConservativeKvAllocator kv(4, 16);  // 64 tokens total
     std::vector<RequestState> states(1);
     states[0].request = Request{0, 0.0, 1000, 10};
+    SarathiScheduler sched(512);
+    EXPECT_EXIT(sched.Next(0.0, states, kv, 0),
+                ::testing::ExitedWithCode(1), "FATAL");
+}
+
+TEST(FailureInjection, OversizedRequestFatalUnderWatermarkToo)
+{
+    // The watermark policy admits on prompt blocks only, but a
+    // request whose worst-case context cannot coexist with the
+    // watermark would deadlock the decode-growth path — equally
+    // fatal.
+    WatermarkKvAllocator kv(4, 16, 0.25, PreemptMode::kRecompute);
+    std::vector<RequestState> states(1);
+    states[0].request = Request{0, 0.0, 40, 20};  // 60 tok + 1 wm block
     SarathiScheduler sched(512);
     EXPECT_EXIT(sched.Next(0.0, states, kv, 0),
                 ::testing::ExitedWithCode(1), "FATAL");
@@ -42,17 +57,21 @@ TEST(FailureInjection, HeadOfLineBlockingUnderMemoryPressure)
 {
     // FCFS admission: a huge request at the head blocks a small one
     // behind it even though the small one would fit (the conservative
-    // policy documented in BlockKvManager).
-    BlockKvManager kv(100, 16);  // 1600 tokens
-    ASSERT_TRUE(kv.Reserve(/*request_id=*/99, 320));  // resident tenant
+    // policy documented in ConservativeKvAllocator).
+    ConservativeKvAllocator kv(100, 16);  // 1600 tokens
+    // Resident tenant holding 20 blocks.
+    RequestState tenant;
+    tenant.request = Request{99, 0.0, 310, 10};  // 320 tokens
+    ASSERT_TRUE(kv.TryAdmit(tenant));
     std::vector<RequestState> states(2);
     states[0].request = Request{0, 0.0, 1300, 100};  // needs 1400 > free
     states[1].request = Request{1, 0.0, 100, 10};    // would fit
     SarathiScheduler sched(512);
-    ScheduledBatch batch = sched.Next(0.0, states, kv, 0);
-    EXPECT_FALSE(states[0].admitted);
-    EXPECT_FALSE(states[1].admitted);
-    EXPECT_TRUE(batch.Empty());
+    SchedulingDecision decision = sched.Next(0.0, states, kv, 0);
+    EXPECT_FALSE(states[0].Admitted());
+    EXPECT_FALSE(states[1].Admitted());
+    EXPECT_TRUE(decision.batch.Empty());
+    EXPECT_TRUE(decision.admissions.empty());
 }
 
 TEST(FailureInjection, PoolDrainsAndRecovers)

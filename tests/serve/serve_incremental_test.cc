@@ -54,30 +54,34 @@ BruteForceExpectations(const ServingEngine& engine,
     const auto& states = engine.States();
     int waiting = 0;
     int running = 0;
+    int preempted = 0;
     long prefill_pending = 0;
     long decode_pending = 0;
     double next_event = std::numeric_limits<double>::infinity();
     bool runnable = false;
     for (const auto& state : states) {
-        if (state.finished) continue;
-        if (state.admitted || state.request.arrival_time <= engine.Now()) {
+        if (state.Finished()) continue;
+        if (state.Admitted() || state.Preempted() ||
+            state.request.arrival_time <= engine.Now()) {
             runnable = true;
         } else {
             next_event =
                 std::min(next_event, state.request.arrival_time);
         }
-        if (state.admitted) {
+        if (state.Admitted()) {
             ++running;
             decode_pending +=
                 state.request.decode_tokens - state.decoded;
+        } else if (state.Preempted()) {
+            ++preempted;
         } else if (state.request.arrival_time <= engine.Now()) {
             ++waiting;
         }
-        prefill_pending +=
-            state.request.prefill_tokens - state.prefilled;
+        prefill_pending += state.PrefillTarget() - state.prefilled;
     }
     EXPECT_EQ(snap.waiting, waiting);
     EXPECT_EQ(snap.running, running);
+    EXPECT_EQ(snap.preempted, preempted);
     EXPECT_EQ(snap.prefill_tokens_pending, prefill_pending);
     EXPECT_EQ(snap.decode_tokens_pending, decode_pending);
     EXPECT_EQ(snap.outstanding,

@@ -7,6 +7,12 @@
  * doubles captured from the pre-refactor engine (PR 3). The
  * incremental-accounting refactor (running counters, finished-prefix
  * index) must not change a single scheduling or timing decision.
+ *
+ * The KvAllocator redesign (PR 5) routes these runs through
+ * ConservativeKvAllocator — the default policy — which must
+ * reproduce the same goldens: the lifecycle API is
+ * behaviour-preserving until the watermark policy is opted into.
+ * ConservativePolicyIsDefaultAndGolden pins that explicitly.
  */
 #include "serve/engine.h"
 
@@ -67,6 +73,32 @@ TEST(ServeRegressionTest, VllmFaSerialRunIsBitIdenticalToGolden)
     EXPECT_EQ(m.frac_stalled_200ms, 0x1.ep-1);  // 0.9375
     EXPECT_EQ(m.frac_stalled_500ms, 0x1.ep-1);
     EXPECT_EQ(m.mean_batch_tokens, 0x1.4b65b6db6db6ep+9);
+}
+
+TEST(ServeRegressionTest, ConservativePolicyIsDefaultAndGolden)
+{
+    // The default config must select the conservative allocator...
+    ServingConfig config;
+    EXPECT_EQ(config.kv_policy, KvPolicy::kConservative);
+
+    // ...and an explicitly-conservative run must reproduce the PR-3
+    // goldens with zero lifecycle activity: same makespan and
+    // iteration count as SarathiPodRunIsBitIdenticalToGolden.
+    config.backend = core::Backend::kPod;
+    config.kv_policy = KvPolicy::kConservative;
+    ServingEngine engine(config, std::make_unique<SarathiScheduler>(512));
+    MetricsReport m = engine.Run(golden::ServeTrace());
+
+    EXPECT_EQ(m.iterations, 469l);
+    EXPECT_EQ(m.makespan, 0x1.b4d5596d5db95p+3);  // 13.651043618779832
+    EXPECT_EQ(m.ttft.Percentile(99), 0x1.e6b668ac4df2p+1);
+    EXPECT_EQ(m.tbt.Max(), 0x1.c6d866c51f28p-5);
+    EXPECT_EQ(m.preemptions, 0l);
+    EXPECT_EQ(m.preemptions_recompute, 0l);
+    EXPECT_EQ(m.preemptions_swap, 0l);
+    EXPECT_EQ(m.requests_preempted, 0);
+    EXPECT_EQ(m.swap_time_total, 0.0);
+    EXPECT_EQ(engine.Allocator().Name(), "conservative");
 }
 
 }  // namespace

@@ -12,35 +12,15 @@
 #include <memory>
 
 #include "serve/engine.h"
-#include "serve/kv_manager.h"
+#include "serve/kv_allocator.h"
 #include "serve/scheduler.h"
 #include "serve/trace.h"
 
 namespace pod::serve {
 namespace {
 
-TEST(BlockKvManagerTest, ReserveAndFree)
-{
-    BlockKvManager kv(10, 16);
-    EXPECT_EQ(kv.BlocksFor(1), 1);
-    EXPECT_EQ(kv.BlocksFor(16), 1);
-    EXPECT_EQ(kv.BlocksFor(17), 2);
-    EXPECT_TRUE(kv.Reserve(1, 100));  // 7 blocks
-    EXPECT_EQ(kv.UsedBlocks(), 7);
-    EXPECT_FALSE(kv.CanReserve(64));  // needs 4, only 3 free
-    EXPECT_TRUE(kv.Reserve(2, 48));   // exactly 3 blocks
-    EXPECT_EQ(kv.FreeBlocks(), 0);
-    kv.Free(1);
-    EXPECT_EQ(kv.UsedBlocks(), 3);
-    EXPECT_NEAR(kv.Utilization(), 0.3, 1e-12);
-}
-
-TEST(BlockKvManagerDeathTest, DoubleReserve)
-{
-    BlockKvManager kv(10, 16);
-    ASSERT_TRUE(kv.Reserve(1, 16));
-    EXPECT_EXIT(kv.Reserve(1, 16), ::testing::ExitedWithCode(1), "FATAL");
-}
+// BlockKvManager unit tests live in tests/serve/kv_manager_test.cc;
+// allocator-policy tests in tests/serve/preemption_test.cc.
 
 TEST(TraceTest, UniformTrace)
 {
@@ -152,29 +132,30 @@ MakeStates(const std::vector<Request>& requests)
 
 TEST(VllmSchedulerTest, PrefillPriorityPausesDecodes)
 {
-    BlockKvManager kv(100000, 16);
+    ConservativeKvAllocator kv(100000, 16);
     auto states = MakeStates(UniformTrace(2, 1000, 10));
     VllmScheduler sched;
 
     // First iteration: both prompts prefill together (whole prompts).
-    ScheduledBatch b1 = sched.Next(0.0, states, kv, 0);
-    ASSERT_EQ(b1.prefills.size(), 2u);
-    EXPECT_EQ(b1.prefills[0].chunk_len, 1000);
-    EXPECT_TRUE(b1.decodes.empty());
+    SchedulingDecision d1 = sched.Next(0.0, states, kv, 0);
+    EXPECT_EQ(d1.admissions.size(), 2u);
+    ASSERT_EQ(d1.batch.prefills.size(), 2u);
+    EXPECT_EQ(d1.batch.prefills[0].chunk_len, 1000);
+    EXPECT_TRUE(d1.batch.decodes.empty());
     states[0].prefilled = 1000;
     states[0].decoded = 1;
     states[1].prefilled = 1000;
     states[1].decoded = 1;
 
     // Now decodes run...
-    ScheduledBatch b2 = sched.Next(1.0, states, kv, 0);
+    ScheduledBatch b2 = sched.Next(1.0, states, kv, 0).batch;
     EXPECT_TRUE(b2.prefills.empty());
     EXPECT_EQ(b2.decodes.size(), 2u);
 
     // ...until a new request arrives: prefill preempts decodes.
     states.push_back(RequestState{});
     states.back().request = Request{2, 0.5, 800, 10};
-    ScheduledBatch b3 = sched.Next(2.0, states, kv, 0);
+    ScheduledBatch b3 = sched.Next(2.0, states, kv, 0).batch;
     ASSERT_EQ(b3.prefills.size(), 1u);
     EXPECT_EQ(b3.prefills[0].chunk_len, 800);
     EXPECT_TRUE(b3.decodes.empty());  // the generation stall
@@ -182,7 +163,7 @@ TEST(VllmSchedulerTest, PrefillPriorityPausesDecodes)
 
 TEST(SarathiSchedulerTest, BudgetSharedBetweenDecodesAndChunk)
 {
-    BlockKvManager kv(100000, 16);
+    ConservativeKvAllocator kv(100000, 16);
     auto states = MakeStates(UniformTrace(3, 2000, 50));
     // Requests 1,2 already decoding; request 0 waiting to prefill.
     states[1].prefilled = 2000;
@@ -191,7 +172,7 @@ TEST(SarathiSchedulerTest, BudgetSharedBetweenDecodesAndChunk)
     states[2].decoded = 5;
     SarathiScheduler sched(512);
 
-    ScheduledBatch batch = sched.Next(0.0, states, kv, 0);
+    ScheduledBatch batch = sched.Next(0.0, states, kv, 0).batch;
     EXPECT_EQ(batch.decodes.size(), 2u);
     ASSERT_EQ(batch.prefills.size(), 1u);
     // Chunk fills the remaining budget: 512 - 2 decodes.
@@ -201,10 +182,10 @@ TEST(SarathiSchedulerTest, BudgetSharedBetweenDecodesAndChunk)
 
 TEST(SarathiSchedulerTest, MultipleChunksFillBudget)
 {
-    BlockKvManager kv(100000, 16);
+    ConservativeKvAllocator kv(100000, 16);
     auto states = MakeStates(UniformTrace(3, 300, 10));
     SarathiScheduler sched(1024);
-    ScheduledBatch batch = sched.Next(0.0, states, kv, 0);
+    ScheduledBatch batch = sched.Next(0.0, states, kv, 0).batch;
     // 300+300+300 = 900 <= 1024: all three prompts chunk in.
     EXPECT_EQ(batch.prefills.size(), 3u);
     EXPECT_EQ(batch.TotalTokens(), 900);
@@ -213,25 +194,26 @@ TEST(SarathiSchedulerTest, MultipleChunksFillBudget)
 TEST(SarathiSchedulerTest, AdmissionBlocksOnKv)
 {
     // Pool fits only the first request (prompt+decode reservation).
-    BlockKvManager kv(70, 16);  // 1120 tokens
+    ConservativeKvAllocator kv(70, 16);  // 1120 tokens
     auto states = MakeStates(UniformTrace(2, 1000, 100));
     SarathiScheduler sched(512);
-    ScheduledBatch batch = sched.Next(0.0, states, kv, 0);
-    EXPECT_TRUE(states[0].admitted);
-    EXPECT_FALSE(states[1].admitted);
-    ASSERT_EQ(batch.prefills.size(), 1u);
-    EXPECT_EQ(batch.prefills[0].req_index, 0);
+    SchedulingDecision decision = sched.Next(0.0, states, kv, 0);
+    EXPECT_TRUE(states[0].Admitted());
+    EXPECT_FALSE(states[1].Admitted());
+    ASSERT_EQ(decision.admissions.size(), 1u);
+    ASSERT_EQ(decision.batch.prefills.size(), 1u);
+    EXPECT_EQ(decision.batch.prefills[0].req_index, 0);
 }
 
 TEST(SchedulerTest, FutureArrivalsInvisible)
 {
-    BlockKvManager kv(100000, 16);
+    ConservativeKvAllocator kv(100000, 16);
     std::vector<Request> reqs = UniformTrace(1, 100, 10);
     reqs[0].arrival_time = 50.0;
     auto states = MakeStates(reqs);
     SarathiScheduler sched(512);
-    EXPECT_TRUE(sched.Next(0.0, states, kv, 0).Empty());
-    EXPECT_FALSE(sched.Next(50.0, states, kv, 0).Empty());
+    EXPECT_TRUE(sched.Next(0.0, states, kv, 0).batch.Empty());
+    EXPECT_FALSE(sched.Next(50.0, states, kv, 0).batch.Empty());
 }
 
 // ---- engine end-to-end tests ----
@@ -419,7 +401,7 @@ TEST(MetricsTest, SingleRequestRunIsFinite)
     states[0].request = Request{0, 0.0, 100, 1};
     states[0].prefilled = 100;
     states[0].decoded = 1;
-    states[0].finished = true;
+    states[0].phase = Phase::kFinished;
     states[0].first_token_time = 0.5;
     states[0].last_token_time = 0.5;
     states[0].finish_time = 0.5;
