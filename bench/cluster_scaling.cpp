@@ -15,6 +15,11 @@
  * `--smoke` shrinks everything to a seconds-long CI exercise of the
  * full routing loop (2 replicas, 2 policies, tiny trace).
  *
+ * `--threads N` runs every fleet through the parallel cluster engine
+ * (docs/DESIGN.md S8) with N executing threads (0 = all hardware
+ * threads). Results are bit-identical to serial at any N — the knob
+ * only changes wall-clock time.
+ *
  * `--long-smoke` runs a 200k-request, 2-replica trace against a
  * wall-clock budget. It exists to pin the O(active) complexity of the
  * serving/cluster loops: with the pre-PR-3 full-state rescans
@@ -23,15 +28,25 @@
  * of that class bursts the 90 s budget (the CI runs this on every
  * push; the budget leaves ~5x headroom for slow shared runners while
  * sitting ~2x under the regressed cost).
+ *
+ * `--long-smoke --threads N` is the parallel pin: the same 200k
+ * requests on an 8-replica fleet, run serial then parallel, with the
+ * two reports compared bit-exactly and the parallel run held to the
+ * same wall-clock budget. When the host has >= N hardware threads
+ * and N >= 4 it additionally requires a >= 2x speedup over the
+ * serial 8-replica run, failing the build if the parallel engine's
+ * scaling regresses.
  */
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -76,11 +91,11 @@ Sarathi()
 
 ClusterMetricsReport
 RunFleet(const std::vector<serve::Request>& trace, int replicas,
-         const std::string& router)
+         const std::string& router, int threads = 1)
 {
     ClusterEngine cluster(
         ClusterConfig::Homogeneous(ReplicaConfig(), replicas), Sarathi(),
-        MakeRouter(router));
+        MakeRouter(router), threads);
     return cluster.Run(trace);
 }
 
@@ -113,13 +128,9 @@ AddReportRow(Table& table, int replicas,
  * so it tolerates slow shared CI runners while still failing on an
  * O(N^2)-class regression.
  */
-int
-RunLongSmoke()
+std::vector<serve::Request>
+LongSmokeTrace(int requests)
 {
-    constexpr int kRequests = 200'000;
-    constexpr int kReplicas = 2;
-    constexpr double kBudgetSeconds = 90.0;
-
     serve::WorkloadSpec spec;
     spec.name = "long-smoke";
     spec.prefill_mean = 768.0;
@@ -130,29 +141,91 @@ RunLongSmoke()
     spec.decode_stddev = 32.0;
     spec.decode_min = 4;
     spec.decode_max = 256;
-
     Rng rng(kSeed);
-    auto trace = serve::GenerateTrace(spec, kRequests, 0.0, rng);
+    return serve::GenerateTrace(spec, requests, 0.0, rng);
+}
 
-    std::printf("Long-trace smoke: %d requests, %d replicas, least-kv "
-                "router, budget %.0f s\n",
-                kRequests, kReplicas, kBudgetSeconds);
+/** One timed long-smoke fleet run; prints its summary lines. */
+double
+TimedLongRun(const std::vector<serve::Request>& trace, int replicas,
+             int threads, ClusterMetricsReport* report_out)
+{
     auto t0 = std::chrono::steady_clock::now();
     ClusterMetricsReport report =
-        RunFleet(trace, kReplicas, "least-kv");
+        RunFleet(trace, replicas, "least-kv", threads);
     double elapsed = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
-
-    std::printf("  completed: %d requests in %ld fleet iterations, "
-                "makespan %.1f s (sim)\n",
+    std::printf("  [%d thread%s] %d requests in %ld fleet iterations, "
+                "makespan %.1f s (sim), wall clock %.1f s\n",
+                threads, threads == 1 ? "" : "s",
                 report.fleet.num_requests, report.fleet.iterations,
-                report.fleet.makespan);
+                report.fleet.makespan, elapsed);
+    if (report_out != nullptr) *report_out = std::move(report);
+    return elapsed;
+}
+
+int
+RunLongSmoke(int threads)
+{
+    constexpr int kRequests = 200'000;
+    constexpr double kBudgetSeconds = 90.0;
+    // Serial pin: 2 replicas (the PR 3 figure). Parallel pin: 8
+    // replicas, where a 4-thread advance phase has enough independent
+    // replica work to show its >= 2x.
+    const int replicas = threads > 1 ? 8 : 2;
+
+    auto trace = LongSmokeTrace(kRequests);
+    std::printf("Long-trace smoke: %d requests, %d replicas, least-kv "
+                "router, budget %.0f s\n",
+                kRequests, replicas, kBudgetSeconds);
+
+    ClusterMetricsReport report;
+    double elapsed = TimedLongRun(trace, replicas, 1, &report);
     std::printf("  attn memo cache: %ld entries, %.1f%% hit rate "
                 "(%ld hits / %ld misses)\n",
                 report.attn_cache_entries,
                 100.0 * report.AttnCacheHitRate(),
                 report.attn_cache_hits, report.attn_cache_misses);
+
+    if (threads > 1) {
+        // The parallel pin proper: same fleet, same trace, N-thread
+        // advance phase. Bit-identity first — a fast parallel run
+        // that computes something else is a failure, not a speedup.
+        ClusterMetricsReport parallel;
+        double parallel_elapsed =
+            TimedLongRun(trace, replicas, threads, &parallel);
+        if (parallel.fleet.makespan != report.fleet.makespan ||
+            parallel.fleet.iterations != report.fleet.iterations ||
+            parallel.fleet.requests_per_minute !=
+                report.fleet.requests_per_minute ||
+            parallel.fleet.ttft.Sum() != report.fleet.ttft.Sum() ||
+            parallel.fleet.tbt.Sum() != report.fleet.tbt.Sum()) {
+            std::printf("FAIL: parallel long-smoke diverged from the "
+                        "serial oracle -- determinism regression\n");
+            return 1;
+        }
+        std::printf("  parallel report bit-identical to serial\n");
+        double speedup = elapsed / parallel_elapsed;
+        std::printf("  speedup: %.2fx at %d replicas / %d threads\n",
+                    speedup, replicas, threads);
+        unsigned hw = std::thread::hardware_concurrency();
+        if (threads >= 4 && hw >= static_cast<unsigned>(threads)) {
+            if (speedup < 2.0) {
+                std::printf("FAIL: parallel advance phase below 2x "
+                            "on %u-thread hardware -- scaling "
+                            "regression\n",
+                            hw);
+                return 1;
+            }
+        } else {
+            std::printf("  (speedup threshold skipped: %u hardware "
+                        "threads for %d requested)\n",
+                        hw, threads);
+        }
+        elapsed = parallel_elapsed;
+    }
+
     std::printf("  wall clock: %.1f s (budget %.0f s)\n", elapsed,
                 kBudgetSeconds);
     if (elapsed > kBudgetSeconds) {
@@ -170,17 +243,45 @@ RunLongSmoke()
 int
 main(int argc, char** argv)
 {
-    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-    if (argc > 1 && std::strcmp(argv[1], "--long-smoke") == 0) {
+    bool smoke = false;
+    bool long_smoke = false;
+    int threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--long-smoke") == 0) {
+            long_smoke = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads = ThreadPool::ResolveThreads(std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke | --long-smoke] "
+                         "[--threads N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    if (long_smoke) {
         Header("cluster_scaling --long-smoke",
-               "200k-request complexity pin for the O(active) "
-               "serving/cluster loops");
-        return RunLongSmoke();
+               threads > 1
+                   ? "200k-request pin for the parallel cluster "
+                     "engine: bit-identity and scaling vs the serial "
+                     "oracle"
+                   : "200k-request complexity pin for the O(active) "
+                     "serving/cluster loops");
+        return RunLongSmoke(threads);
     }
 
     Header("cluster_scaling",
            "fleet throughput and routing-policy comparison across "
            "data-parallel replicas");
+    if (threads > 1) {
+        std::printf("(parallel cluster engine, %d threads — results "
+                    "are bit-identical to serial)\n\n",
+                    threads);
+    }
 
     std::vector<int> replica_counts =
         smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
@@ -222,7 +323,7 @@ main(int argc, char** argv)
                     continue;
                 }
                 ClusterMetricsReport report =
-                    RunFleet(trace, replicas, router);
+                    RunFleet(trace, replicas, router, threads);
                 report.workload = spec.name;
                 rpm[spec.name][replicas][router] =
                     report.fleet.requests_per_minute;
@@ -267,7 +368,7 @@ main(int argc, char** argv)
         std::map<std::string, double> p99_ttft;
         for (const auto& router : routers) {
             ClusterMetricsReport report =
-                RunFleet(trace, fleet_size, router);
+                RunFleet(trace, fleet_size, router, threads);
             report.workload = spec.name;
             p99_ttft[router] = report.fleet.ttft.Percentile(99);
             AddReportRow(table, fleet_size, report);

@@ -1,6 +1,8 @@
 /**
  * @file
- * Implementation of the cluster discrete-event loop.
+ * Implementation of the phase-structured cluster run loop
+ * (docs/DESIGN.md S8): plan arrivals, advance replicas in parallel
+ * to the arrival horizon, route at the barrier.
  */
 #include "cluster/cluster_engine.h"
 
@@ -10,6 +12,26 @@
 #include "common/logging.h"
 
 namespace pod::cluster {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * SplitMix64 finalizer: derives statistically independent per-replica
+ * seeds from (cluster seed, replica index). A plain `seed + index`
+ * would hand adjacent mt19937_64 engines correlated states.
+ */
+uint64_t
+DeriveSeed(uint64_t seed, uint64_t index)
+{
+    uint64_t z = seed + (index + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
 
 ClusterConfig
 ClusterConfig::Homogeneous(const serve::ServingConfig& base,
@@ -23,8 +45,11 @@ ClusterConfig::Homogeneous(const serve::ServingConfig& base,
 
 ClusterEngine::ClusterEngine(ClusterConfig config,
                              SchedulerFactory make_scheduler,
-                             std::unique_ptr<Router> router)
-    : router_(std::move(router))
+                             std::unique_ptr<Router> router,
+                             int num_threads)
+    : seed_(config.seed),
+      router_(std::move(router)),
+      pool_(ThreadPool::ResolveThreads(num_threads))
 {
     POD_CHECK_ARG(!config.replicas.empty(),
                   "fleet needs at least one replica");
@@ -32,11 +57,13 @@ ClusterEngine::ClusterEngine(ClusterConfig config,
                   "cluster needs a scheduler factory");
     POD_CHECK_ARG(router_ != nullptr, "cluster needs a router");
     replicas_.reserve(config.replicas.size());
+    replica_rngs_.reserve(config.replicas.size());
     for (size_t i = 0; i < config.replicas.size(); ++i) {
         auto scheduler = make_scheduler(static_cast<int>(i));
         POD_CHECK_ARG(scheduler != nullptr,
                       "scheduler factory returned null");
         replicas_.emplace_back(config.replicas[i], std::move(scheduler));
+        replica_rngs_.emplace_back(DeriveSeed(seed_, i));
     }
 }
 
@@ -49,6 +76,36 @@ ClusterEngine::Replica(int index) const
     return replicas_[static_cast<size_t>(index)];
 }
 
+Rng&
+ClusterEngine::ReplicaRng(int index)
+{
+    POD_CHECK_ARG(index >= 0 &&
+                      index < static_cast<int>(replica_rngs_.size()),
+                  "replica index out of range");
+    return replica_rngs_[static_cast<size_t>(index)];
+}
+
+void
+ClusterEngine::AdvanceReplica(size_t r, double horizon,
+                              ReplicaAccum& accum)
+{
+    // Strictly-before: an event *at* the horizon belongs after the
+    // routing decision, matching the serial loop's
+    // `arrival_time <= t_step` routing condition. The replica touches
+    // only its own engine, RNG stream and accumulator, so this body
+    // is race-free and schedule-independent by construction.
+    serve::ServingEngine& replica = replicas_[r];
+    while (replica.NextEventTime() < horizon) {
+        serve::StepResult result = replica.Step();
+        if (!result.progressed) continue;
+        accum.busy_time += result.duration;
+        accum.tokens_processed += result.batch_tokens;
+        accum.kv_peak = std::max(accum.kv_peak, result.kv_utilization);
+        accum.kv_util_sum += result.kv_utilization;
+        accum.kv_util_samples += 1;
+    }
+}
+
 ClusterMetricsReport
 ClusterEngine::Run(std::vector<serve::Request> requests)
 {
@@ -58,6 +115,13 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
     const size_t num_replicas = replicas_.size();
     for (auto& replica : replicas_) replica.Reset();
     router_->Reset();
+    // Reseed the replica streams serially, in replica-index order,
+    // before any worker runs: stream state is a function of
+    // (cluster seed, replica index) alone, never of which thread
+    // advanced which replica last run.
+    for (size_t r = 0; r < num_replicas; ++r) {
+        replica_rngs_[r] = Rng(DeriveSeed(seed_, r));
+    }
 
     // Memo caches (and their lifetime hit/miss counters) survive
     // Reset() deliberately; baseline them so the per-run report only
@@ -69,68 +133,71 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
         cache_misses_base[r] = replicas_[r].AttnCacheMisses();
     }
 
-    std::vector<ReplicaUtilization> util(num_replicas);
+    std::vector<ReplicaAccum> accum(num_replicas);
     std::vector<serve::ReplicaSnapshot> snapshots(num_replicas);
-    std::vector<double> kv_util_sum(num_replicas, 0.0);
-    std::vector<long> kv_util_samples(num_replicas, 0);
-
-    constexpr double kInf = std::numeric_limits<double>::infinity();
     size_t next_arrival = 0;
 
-    // Both per-event probes below are O(1) per replica since PR 3:
-    // NextEventTime() reads the running counters and Snapshot()
-    // assembles the counter set, so the loop costs O(R) per event
-    // and O(R) per arrival instead of rescanning every submitted
-    // request -- the O(N^2 * R) behaviour the ROADMAP called out.
+    // Per-event probes are O(1) per replica (PR 3), so the serial
+    // phases cost O(R) per arrival; all Step() work — the actual
+    // simulation cost — happens inside the parallel-advance phase.
     while (true) {
-        // Earliest actionable replica event.
-        double t_step = kInf;
-        size_t step_replica = 0;
+        // ---- Phase 1: plan arrivals (the time horizon). ----
+        const double horizon = next_arrival < requests.size()
+                                   ? requests[next_arrival].arrival_time
+                                   : kInf;
+
+        // ---- Phase 2: parallel advance to the horizon. ----
+        // Cheap serial pre-scan: most arrivals land with no replica
+        // event before them (e.g. offline traces queue everything at
+        // t=0), and skipping the pool round keeps routing-bound
+        // phases at O(R) instead of a barrier per request.
+        bool any_work = false;
         for (size_t r = 0; r < num_replicas; ++r) {
-            double t = replicas_[r].NextEventTime();
-            if (t < t_step) {
-                t_step = t;
-                step_replica = r;
+            if (replicas_[r].NextEventTime() < horizon) {
+                any_work = true;
+                break;
             }
         }
-
-        // Route every arrival not later than that event, so no
-        // replica forms a batch while an unrouted request that could
-        // have joined it is still pending.
-        if (next_arrival < requests.size() &&
-            requests[next_arrival].arrival_time <= t_step) {
-            const serve::Request& request = requests[next_arrival];
-            for (size_t r = 0; r < num_replicas; ++r) {
-                snapshots[r] = replicas_[r].Snapshot();
-                snapshots[r].replica_id = static_cast<int>(r);
-            }
-            int pick = router_->Route(request, snapshots);
-            POD_CHECK_ARG(pick >= 0 &&
-                              pick < static_cast<int>(num_replicas),
-                          "router returned an invalid replica index");
-            replicas_[static_cast<size_t>(pick)].Submit(request);
-            util[static_cast<size_t>(pick)].requests_routed += 1;
-            ++next_arrival;
-            continue;
+        if (any_work) {
+            pool_.ParallelFor(
+                static_cast<int>(num_replicas), [&](int r) {
+                    AdvanceReplica(static_cast<size_t>(r), horizon,
+                                   accum[static_cast<size_t>(r)]);
+                });
         }
 
-        if (t_step == kInf) break;  // fleet drained
-
-        serve::StepResult result = replicas_[step_replica].Step();
-        if (result.progressed) {
-            ReplicaUtilization& u = util[step_replica];
-            u.busy_time += result.duration;
-            u.tokens_processed += result.batch_tokens;
-            u.kv_peak = std::max(u.kv_peak, result.kv_utilization);
-            kv_util_sum[step_replica] += result.kv_utilization;
-            kv_util_samples[step_replica] += 1;
+        // ---- Phase 3: barrier route. ----
+        // Every replica's next event is now >= horizon, which is the
+        // serial loop's routing condition (route every arrival not
+        // later than the earliest replica event, so no replica forms
+        // a batch an unrouted request could have joined).
+        if (next_arrival >= requests.size()) break;  // fleet drained
+        const serve::Request& request = requests[next_arrival];
+        for (size_t r = 0; r < num_replicas; ++r) {
+            snapshots[r] = replicas_[r].Snapshot();
+            snapshots[r].replica_id = static_cast<int>(r);
         }
+        int pick = router_->Route(request, snapshots);
+        POD_CHECK_ARG(pick >= 0 &&
+                          pick < static_cast<int>(num_replicas),
+                      "router returned an invalid replica index");
+        replicas_[static_cast<size_t>(pick)].Submit(request);
+        accum[static_cast<size_t>(pick)].requests_routed += 1;
+        ++next_arrival;
     }
 
     POD_ASSERT(next_arrival == requests.size());
     for (auto& replica : replicas_) POD_ASSERT(replica.Done());
 
-    // ---- assemble the report ----
+    // ---- assemble the report (serial; after the final barrier) ----
+    std::vector<ReplicaUtilization> util(num_replicas);
+    for (size_t r = 0; r < num_replicas; ++r) {
+        util[r].busy_time = accum[r].busy_time;
+        util[r].tokens_processed = accum[r].tokens_processed;
+        util[r].kv_peak = accum[r].kv_peak;
+        util[r].requests_routed = accum[r].requests_routed;
+    }
+
     ClusterMetricsReport report;
     report.router = router_->Name();
     report.num_replicas = static_cast<int>(num_replicas);
@@ -150,9 +217,9 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
         const serve::ServingEngine& replica = replicas_[r];
         report.per_replica.push_back(replica.Report());
         report.utilization[r].kv_mean =
-            kv_util_samples[r] > 0
-                ? kv_util_sum[r] /
-                      static_cast<double>(kv_util_samples[r])
+            accum[r].kv_util_samples > 0
+                ? accum[r].kv_util_sum /
+                      static_cast<double>(accum[r].kv_util_samples)
                 : 0.0;
         report.utilization[r].attn_cache_entries =
             static_cast<long>(replica.AttnCacheSize());

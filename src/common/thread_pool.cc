@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Implementation of the persistent fork/join pool.
+ */
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace pod {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads)
+{
+    POD_CHECK_ARG(num_threads >= 1,
+                  "thread pool needs at least one thread");
+    workers_.reserve(static_cast<size_t>(num_threads - 1));
+    for (int i = 0; i < num_threads - 1; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+}
+
+int
+ThreadPool::ResolveThreads(int requested)
+{
+    if (requested >= 1) return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+void
+ThreadPool::RunTasks()
+{
+    // Dynamic index claiming: fine for this library's use, where a
+    // "task" is advancing one replica for a whole time window (coarse
+    // and uneven), so stealing granularity matters more than locality.
+    int i;
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) <
+           count_) {
+        try {
+            (*task_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!error_) error_ = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::WorkerLoop()
+{
+    long seen_epoch = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || epoch_ != seen_epoch;
+            });
+            if (stop_) return;
+            seen_epoch = epoch_;
+        }
+        RunTasks();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++workers_done_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+void
+ThreadPool::ParallelFor(int count, const std::function<void(int)>& task)
+{
+    if (count <= 0) return;
+    if (num_threads_ == 1 || count == 1) {
+        // Inline degenerate path: no synchronization, exceptions
+        // propagate directly.
+        for (int i = 0; i < count; ++i) task(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        task_ = &task;
+        count_ = count;
+        next_.store(0, std::memory_order_relaxed);
+        workers_done_ = 0;
+        error_ = nullptr;
+        ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    RunTasks();  // the caller is one of the executing threads
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] {
+            return workers_done_ ==
+                   static_cast<int>(workers_.size());
+        });
+        task_ = nullptr;
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pod
