@@ -9,8 +9,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
 #include <string>
 
+#include "common/telemetry/registry.h"
 #include "gpusim/gpu_spec.h"
 #include "kernels/attn_types.h"
 #include "model/model_config.h"
@@ -77,6 +81,84 @@ inline const char*
 GbenchMinTimeFlag()
 {
     return "--benchmark_min_time=0.1";
+}
+
+/**
+ * Shared telemetry output flags (docs/OBSERVABILITY.md):
+ *   --json-out PATH   dump the metric registry (.csv extension -> CSV)
+ *   --trace-out PATH  dump a Chrome trace-event JSON timeline
+ * Parsed by StripTelemetryFlags so each bench's own argv loop never
+ * sees them.
+ */
+struct TelemetryOptions
+{
+    std::string json_out;
+    std::string trace_out;
+
+    bool Enabled() const
+    {
+        return !json_out.empty() || !trace_out.empty();
+    }
+};
+
+/**
+ * Remove `--json-out PATH` / `--trace-out PATH` from argv (compacting
+ * it in place and updating argc), returning the parsed options.
+ */
+inline TelemetryOptions
+StripTelemetryFlags(int& argc, char** argv)
+{
+    TelemetryOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+            opts.json_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            opts.trace_out = argv[++i];
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return opts;
+}
+
+/** Open `path` and hand the stream to `writer`; warn on I/O failure. */
+inline bool
+WriteOutputFile(const std::string& path,
+                const std::function<void(std::ostream&)>& writer)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    writer(out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+/**
+ * Dump a metric registry to opts.json_out if set; a `.csv` extension
+ * selects the CSV exporter, anything else the JSON one.
+ */
+inline void
+WriteMetricsFile(const TelemetryOptions& opts,
+                 const telemetry::MetricRegistry& registry)
+{
+    if (opts.json_out.empty()) return;
+    const std::string& path = opts.json_out;
+    bool csv = path.size() >= 4 &&
+               path.compare(path.size() - 4, 4, ".csv") == 0;
+    WriteOutputFile(path, [&](std::ostream& out) {
+        if (csv) {
+            registry.WriteCsv(out);
+        } else {
+            registry.WriteJson(out);
+        }
+    });
 }
 
 /** Print the standard bench header. */

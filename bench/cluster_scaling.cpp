@@ -120,6 +120,39 @@ AddReportRow(Table& table, int replicas,
 }
 
 /**
+ * Dedicated instrumented run for --json-out / --trace-out
+ * (docs/OBSERVABILITY.md): a small 2-replica fleet with sim-time
+ * tracing and wall-clock profiling enabled. Kept separate from the
+ * sweep runs above so their timings stay unperturbed; the trace bytes
+ * are deterministic (identical at every thread count).
+ */
+void
+EmitTelemetry(const TelemetryOptions& telemetry, int threads)
+{
+    if (!telemetry.Enabled()) return;
+    Rng rng(kSeed);
+    auto trace = serve::GenerateTrace(serve::WorkloadSpec::Internal(),
+                                      8, 4.0, rng);
+    ClusterEngine cluster(ClusterConfig::Homogeneous(ReplicaConfig(), 2),
+                          Sarathi(), MakeRouter("least-kv"), threads);
+    cluster.EnableTracing();
+    cluster.EnableProfiling(true);
+    ClusterMetricsReport report = cluster.Run(trace);
+
+    if (!telemetry.trace_out.empty()) {
+        WriteOutputFile(telemetry.trace_out, [&](std::ostream& out) {
+            cluster.WriteChromeTrace(out);
+        });
+    }
+    if (!telemetry.json_out.empty()) {
+        telemetry::MetricRegistry registry;
+        FillRegistry(report, registry);
+        cluster.Profile().FillRegistry(registry, "profile.");
+        WriteMetricsFile(telemetry, registry);
+    }
+}
+
+/**
  * The 200k-request complexity pin. Short prompts and decodes keep the
  * per-iteration simulation work small, so wall-clock time is
  * dominated by the loop bookkeeping this smoke exists to bound. The
@@ -243,6 +276,7 @@ RunLongSmoke(int threads)
 int
 main(int argc, char** argv)
 {
+    TelemetryOptions telemetry = StripTelemetryFlags(argc, argv);
     bool smoke = false;
     bool long_smoke = false;
     int threads = 1;
@@ -257,7 +291,8 @@ main(int argc, char** argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke | --long-smoke] "
-                         "[--threads N]\n",
+                         "[--threads N] [--json-out PATH] "
+                         "[--trace-out PATH]\n",
                          argv[0]);
             return 2;
         }
@@ -271,7 +306,9 @@ main(int argc, char** argv)
                      "oracle"
                    : "200k-request complexity pin for the O(active) "
                      "serving/cluster loops");
-        return RunLongSmoke(threads);
+        int rc = RunLongSmoke(threads);
+        EmitTelemetry(telemetry, threads);
+        return rc;
     }
 
     Header("cluster_scaling",
@@ -380,5 +417,6 @@ main(int argc, char** argv)
                     p99_ttft["least-kv"] / p99_ttft["round-robin"]);
     }
 
+    EmitTelemetry(telemetry, threads);
     return 0;
 }

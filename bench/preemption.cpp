@@ -28,6 +28,7 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/telemetry/trace.h"
 #include "serve/engine.h"
 #include "serve/scheduler.h"
 #include "serve/trace.h"
@@ -106,6 +107,7 @@ AddRow(Table& table, const Policy& policy, double qps, double watermark,
 int
 main(int argc, char** argv)
 {
+    TelemetryOptions telemetry = StripTelemetryFlags(argc, argv);
     bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
 
     Header("preemption",
@@ -171,6 +173,32 @@ main(int argc, char** argv)
                     "not being exercised\n");
         return 1;
     }
+
+    if (telemetry.Enabled()) {
+        // Instrumented single-replica run of the wm-swap cell: its
+        // timeline shows the admit/preempt/restore churn this bench
+        // exists to study (docs/OBSERVABILITY.md).
+        pod::telemetry::TraceRecorder recorder(0, "memory-tight replica");
+        ServingEngine engine(
+            TightConfig(policies.back(), watermarks.front()),
+            std::make_unique<SarathiScheduler>(kChunk));
+        engine.SetTraceRecorder(&recorder);
+        Rng rng(kSeed);
+        auto trace =
+            GenerateTrace(spec, requests, qps_sweep.back(), rng);
+        MetricsReport report = engine.Run(trace);
+        if (!telemetry.trace_out.empty()) {
+            WriteOutputFile(telemetry.trace_out, [&](std::ostream& out) {
+                pod::telemetry::WriteChromeTrace(out, {&recorder});
+            });
+        }
+        if (!telemetry.json_out.empty()) {
+            pod::telemetry::MetricRegistry registry;
+            FillRegistry(report, registry);
+            WriteMetricsFile(telemetry, registry);
+        }
+    }
+
     std::printf("PASS\n");
     return 0;
 }

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <ostream>
+#include <string>
 
 #include "common/logging.h"
 
@@ -86,6 +88,42 @@ ClusterEngine::ReplicaRng(int index)
 }
 
 void
+ClusterEngine::EnableTracing(size_t reserve_events)
+{
+    if (!recorders_.empty()) return;
+    recorders_.reserve(replicas_.size() + 1);
+    recorders_.emplace_back(0, "cluster", reserve_events);
+    for (size_t r = 0; r < replicas_.size(); ++r) {
+        recorders_.emplace_back(
+            static_cast<int>(r) + 1,
+            "replica" + std::to_string(r) + " (" +
+                replicas_[r].Config().gpu.name + ")",
+            reserve_events);
+        // The vector never grows past this reserve, so the pointer
+        // handed to the engine stays valid for the engine's lifetime.
+        replicas_[r].SetTraceRecorder(&recorders_[r + 1]);
+    }
+}
+
+void
+ClusterEngine::WriteChromeTrace(std::ostream& out) const
+{
+    std::vector<const telemetry::TraceRecorder*> recorders;
+    recorders.reserve(recorders_.size());
+    for (const auto& recorder : recorders_) {
+        recorders.push_back(&recorder);
+    }
+    telemetry::WriteChromeTrace(out, recorders);
+}
+
+void
+ClusterEngine::EnableProfiling(bool on)
+{
+    profiling_ = on;
+    pool_.EnableProfiling(on);
+}
+
+void
 ClusterEngine::AdvanceReplica(size_t r, double horizon,
                               ReplicaAccum& accum)
 {
@@ -115,6 +153,13 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
     const size_t num_replicas = replicas_.size();
     for (auto& replica : replicas_) replica.Reset();
     router_->Reset();
+    for (auto& recorder : recorders_) recorder.Clear();
+    const bool prof = profiling_;
+    if (prof) {
+        profile_ = telemetry::ClusterProfile{};
+        pool_.ResetProfile();
+    }
+    const double run_start = prof ? telemetry::WallSeconds() : 0.0;
     // Reseed the replica streams serially, in replica-index order,
     // before any worker runs: stream state is a function of
     // (cluster seed, replica index) alone, never of which thread
@@ -159,11 +204,16 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
             }
         }
         if (any_work) {
+            const double t0 = prof ? telemetry::WallSeconds() : 0.0;
             pool_.ParallelFor(
                 static_cast<int>(num_replicas), [&](int r) {
                     AdvanceReplica(static_cast<size_t>(r), horizon,
                                    accum[static_cast<size_t>(r)]);
                 });
+            if (prof) {
+                profile_.advance.Accumulate(t0);
+                ++profile_.pool_rounds;
+            }
         }
 
         // ---- Phase 3: barrier route. ----
@@ -172,6 +222,7 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
         // later than the earliest replica event, so no replica forms
         // a batch an unrouted request could have joined).
         if (next_arrival >= requests.size()) break;  // fleet drained
+        const double route_start = prof ? telemetry::WallSeconds() : 0.0;
         const serve::Request& request = requests[next_arrival];
         for (size_t r = 0; r < num_replicas; ++r) {
             snapshots[r] = replicas_[r].Snapshot();
@@ -181,8 +232,17 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
         POD_CHECK_ARG(pick >= 0 &&
                           pick < static_cast<int>(num_replicas),
                       "router returned an invalid replica index");
+        if (!recorders_.empty()) {
+            // Routing happens serially at the barrier, so the router
+            // recorder has exactly one writer.
+            recorders_[0].Instant(telemetry::EventKind::kRoute,
+                                  request.arrival_time,
+                                  telemetry::TraceRecorder::kEngineTrack,
+                                  request.id, pick);
+        }
         replicas_[static_cast<size_t>(pick)].Submit(request);
         accum[static_cast<size_t>(pick)].requests_routed += 1;
+        if (prof) profile_.route.Accumulate(route_start);
         ++next_arrival;
     }
 
@@ -260,6 +320,10 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
     report.fleet.swap_time_total = report.swap_time_total;
     report.request_imbalance_cv = CoefficientOfVariation(request_counts);
     report.token_imbalance_cv = CoefficientOfVariation(token_counts);
+    if (prof) {
+        profile_.run.Accumulate(run_start);
+        profile_.threads = pool_.Profile();
+    }
     return report;
 }
 

@@ -21,12 +21,15 @@
 #define POD_CLUSTER_CLUSTER_ENGINE_H
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
 #include "cluster/cluster_metrics.h"
 #include "cluster/router.h"
 #include "common/rng.h"
+#include "common/telemetry/profiler.h"
+#include "common/telemetry/trace.h"
 #include "common/thread_pool.h"
 #include "serve/engine.h"
 
@@ -132,6 +135,46 @@ class ClusterEngine
      */
     Rng& ReplicaRng(int index);
 
+    // ---- observability (docs/OBSERVABILITY.md) ----
+
+    /**
+     * Allocate per-replica sim-time trace recorders (pid 0 = the
+     * router, pid r+1 = replica r) and attach them to the engines.
+     * Each recorder is written only by the worker advancing its
+     * replica, so tracing adds no synchronization; buffers are cleared
+     * at the start of every Run(). Idempotent.
+     */
+    void EnableTracing(size_t reserve_events = 4096);
+
+    bool TracingEnabled() const { return !recorders_.empty(); }
+
+    /**
+     * Merge all recorders into one Chrome trace-event JSON document.
+     * Deterministic: identical bytes at every thread count (the trace
+     * is a function of the simulated scenario alone).
+     */
+    void WriteChromeTrace(std::ostream& out) const;
+
+    /** Recorders (index 0 = router, r+1 = replica r); empty unless
+     * EnableTracing() was called. */
+    const std::vector<telemetry::TraceRecorder>& Recorders() const
+    {
+        return recorders_;
+    }
+
+    /**
+     * Toggle wall-clock phase/thread profiling of the run loop (host
+     * time; see common/telemetry/profiler.h — kept out of the
+     * sim-time trace). Off by default: no clock reads on the hot path.
+     */
+    void EnableProfiling(bool on);
+
+    /** Profile of the most recent Run() (empty unless enabled). */
+    const telemetry::ClusterProfile& Profile() const
+    {
+        return profile_;
+    }
+
   private:
     /** Per-replica metric accumulation, private to one worker during
      * the parallel-advance phase and folded into the report after the
@@ -156,6 +199,13 @@ class ClusterEngine
     std::unique_ptr<Router> router_;
     std::vector<Rng> replica_rngs_;
     ThreadPool pool_;
+
+    /** [0] = router recorder, [r+1] = replica r's recorder. Sized
+     * once by EnableTracing(); engines hold stable pointers in. */
+    std::vector<telemetry::TraceRecorder> recorders_;
+
+    bool profiling_ = false;
+    telemetry::ClusterProfile profile_;
 };
 
 }  // namespace pod::cluster

@@ -42,4 +42,50 @@ CoefficientOfVariation(const std::vector<double>& values)
     return stats.Stddev() / mean;
 }
 
+void
+FillRegistry(const ClusterMetricsReport& report,
+             telemetry::MetricRegistry& registry,
+             const std::string& prefix)
+{
+    registry.AddCounter(prefix + "replicas", report.num_replicas);
+    registry.SetGauge(prefix + "imbalance.requests_cv",
+                      report.request_imbalance_cv);
+    registry.SetGauge(prefix + "imbalance.tokens_cv",
+                      report.token_imbalance_cv);
+    registry.AddCounter(prefix + "attn_cache.entries",
+                        report.attn_cache_entries);
+    registry.AddCounter(prefix + "attn_cache.hits",
+                        report.attn_cache_hits);
+    registry.AddCounter(prefix + "attn_cache.misses",
+                        report.attn_cache_misses);
+    registry.SetGauge(prefix + "attn_cache.hit_rate",
+                      report.AttnCacheHitRate());
+    registry.AddCounter(prefix + "preempt.total", report.preemptions);
+    registry.AddCounter(prefix + "preempt.recompute",
+                        report.preemptions_recompute);
+    registry.AddCounter(prefix + "preempt.swap",
+                        report.preemptions_swap);
+    registry.SetGauge(prefix + "swap.total_seconds",
+                      report.swap_time_total);
+
+    serve::FillRegistry(report.fleet, registry, prefix + "fleet.");
+
+    for (size_t r = 0; r < report.per_replica.size(); ++r) {
+        const std::string rp =
+            prefix + "replica" + std::to_string(r) + ".";
+        serve::FillRegistry(report.per_replica[r], registry, rp);
+        if (r < report.utilization.size()) {
+            const ReplicaUtilization& u = report.utilization[r];
+            registry.SetGauge(rp + "kv.peak_utilization", u.kv_peak);
+            registry.SetGauge(rp + "kv.mean_utilization", u.kv_mean);
+            registry.SetGauge(rp + "busy_seconds", u.busy_time);
+            registry.AddCounter(rp + "routed", u.requests_routed);
+            registry.SetGauge(rp + "tokens_processed",
+                              u.tokens_processed);
+            registry.SetGauge(rp + "attn_cache.hit_rate",
+                              u.AttnCacheHitRate());
+        }
+    }
+}
+
 }  // namespace pod::cluster

@@ -104,6 +104,18 @@ struct ClusterMetricsReport
  */
 double CoefficientOfVariation(const std::vector<double>& values);
 
+/**
+ * Publish a cluster report into a metric registry under `prefix`
+ * (default "cluster."): the fleet rollup under `<prefix>fleet.`, each
+ * replica's report under `<prefix>replica<r>.` plus its utilization
+ * gauges, and the imbalance / cache / preemption rollups at the top
+ * level. Names follow docs/OBSERVABILITY.md; enumeration via
+ * MetricRegistry::Rows() is name-sorted and deterministic.
+ */
+void FillRegistry(const ClusterMetricsReport& report,
+                  telemetry::MetricRegistry& registry,
+                  const std::string& prefix = "cluster.");
+
 }  // namespace pod::cluster
 
 #endif  // POD_CLUSTER_CLUSTER_METRICS_H

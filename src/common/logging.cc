@@ -1,17 +1,30 @@
 /**
  * @file
  * Implementation of the logging channels.
+ *
+ * Thread safety: the serving stack emits warnings from worker-pool
+ * threads (the parallel cluster engine, docs/DESIGN.md S8), so each
+ * message is formatted into a private buffer and written to stderr as
+ * a single fwrite under a process-wide mutex — concurrent messages
+ * serialize whole, never interleaving mid-line
+ * (tests/common/logging_test.cc::ConcurrentEmissionKeepsLinesIntact).
+ * The level itself is atomic so readers on pool threads race-freely
+ * observe runtime SetLogLevel() calls.
  */
 #include "common/logging.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace pod {
 
 namespace {
 
-LogLevel ReadInitialLevel()
+LogLevel
+ReadInitialLevel()
 {
     const char* env = std::getenv("POD_LOG_LEVEL");
     if (env == nullptr) {
@@ -23,17 +36,40 @@ LogLevel ReadInitialLevel()
     return static_cast<LogLevel>(v);
 }
 
-LogLevel& MutableLevel()
+std::atomic<int>&
+AtomicLevel()
 {
-    static LogLevel level = ReadInitialLevel();
+    static std::atomic<int> level{static_cast<int>(ReadInitialLevel())};
     return level;
 }
 
-void VEmit(const char* tag, const char* fmt, va_list args)
+std::mutex&
+EmitMutex()
 {
-    std::fprintf(stderr, "[%s] ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    static std::mutex mu;
+    return mu;
+}
+
+void
+VEmit(const char* tag, const char* fmt, va_list args)
+{
+    // Format the whole line privately, then write it in one locked
+    // call: a message from another thread can precede or follow this
+    // one but never split it.
+    char buf[1024];
+    int off = std::snprintf(buf, sizeof(buf), "[%s] ", tag);
+    if (off < 0) off = 0;
+    int body = std::vsnprintf(buf + off, sizeof(buf) - 1 -
+                                             static_cast<size_t>(off),
+                              fmt, args);
+    size_t len = body < 0 ? static_cast<size_t>(off)
+                          : std::min(sizeof(buf) - 1,
+                                     static_cast<size_t>(off + body));
+    buf[len] = '\n';
+
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::fwrite(buf, 1, len + 1, stderr);
+    std::fflush(stderr);
 }
 
 }  // namespace
@@ -41,13 +77,15 @@ void VEmit(const char* tag, const char* fmt, va_list args)
 LogLevel
 GetLogLevel()
 {
-    return MutableLevel();
+    return static_cast<LogLevel>(
+        AtomicLevel().load(std::memory_order_relaxed));
 }
 
 void
 SetLogLevel(LogLevel level)
 {
-    MutableLevel() = level;
+    AtomicLevel().store(static_cast<int>(level),
+                        std::memory_order_relaxed);
 }
 
 void

@@ -118,6 +118,132 @@ SampleStats::Summary() const
     return std::string(buf);
 }
 
+HistogramStats::HistogramStats(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi)
+{
+    POD_CHECK_ARG(hi > lo, "histogram needs hi > lo");
+    POD_CHECK_ARG(num_bins >= 1, "histogram needs at least one bin");
+    bins_.assign(static_cast<size_t>(num_bins), 0);
+    bin_width_ = (hi_ - lo_) / static_cast<double>(num_bins);
+}
+
+void
+HistogramStats::Add(double value)
+{
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        if (value < min_) min_ = value;
+        if (value > max_) max_ = value;
+    }
+    ++count_;
+    sum_ += value;
+    if (value < lo_) {
+        ++underflow_;
+    } else if (value >= hi_) {
+        ++overflow_;
+    } else {
+        auto bin = static_cast<size_t>((value - lo_) / bin_width_);
+        // Guard the floating-point edge where (value - lo_) / width
+        // rounds up to the bin count even though value < hi_.
+        if (bin >= bins_.size()) bin = bins_.size() - 1;
+        ++bins_[bin];
+    }
+}
+
+double
+HistogramStats::Mean() const
+{
+    if (count_ == 0) return 0.0;
+    return sum_ / static_cast<double>(count_);
+}
+
+double
+HistogramStats::Min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+HistogramStats::Max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+HistogramStats::BinLow(int i) const
+{
+    return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double
+HistogramStats::Percentile(double p) const
+{
+    POD_CHECK_ARG(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+    if (count_ == 0) return 0.0;
+    // Rank in [0, count): the sample index the percentile names.
+    double rank = (p / 100.0) * static_cast<double>(count_ - 1);
+    double cumulative = static_cast<double>(underflow_);
+    if (rank < cumulative) return min_;  // inside the underflow mass
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        double in_bin = static_cast<double>(bins_[i]);
+        if (in_bin > 0.0 && rank < cumulative + in_bin) {
+            // Interpolate within the bin, then clamp to the exact
+            // observed range so estimates never leave [min, max].
+            double frac = (rank - cumulative + 0.5) / in_bin;
+            double v = BinLow(static_cast<int>(i)) + frac * bin_width_;
+            return std::min(std::max(v, min_), max_);
+        }
+        cumulative += in_bin;
+    }
+    return max_;  // inside the overflow mass (or p == 100)
+}
+
+void
+HistogramStats::Merge(const HistogramStats& other)
+{
+    POD_CHECK_ARG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                      bins_.size() == other.bins_.size(),
+                  "histogram merge requires identical bin geometry");
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+HistogramStats::Clear()
+{
+    std::fill(bins_.begin(), bins_.end(), 0L);
+    underflow_ = 0;
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+std::string
+HistogramStats::Summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%ld mean=%.4g p50~%.4g p99~%.4g min=%.4g max=%.4g "
+                  "under=%ld over=%ld",
+                  count_, Mean(), Percentile(50), Percentile(99), Min(),
+                  Max(), underflow_, overflow_);
+    return std::string(buf);
+}
+
 double
 GeoMean(const std::vector<double>& values)
 {

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Implementation of the metric registry and its JSON/CSV exporters.
+ */
+#include "common/telemetry/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace pod::telemetry {
+
+const char*
+MetricKindName(MetricKind kind)
+{
+    switch (kind) {
+        case MetricKind::kCounter: return "counter";
+        case MetricKind::kGauge: return "gauge";
+        case MetricKind::kHistogram: return "histogram";
+    }
+    return "unknown";
+}
+
+std::string
+FormatDouble(double v)
+{
+    // Shortest decimal that round-trips: deterministic for a given
+    // bit pattern, so byte-identical runs serialize byte-identically.
+    char buf[64];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v) break;
+    }
+    return std::string(buf);
+}
+
+namespace {
+
+/** Escape a string for a JSON literal (names are plain, but be safe). */
+std::string
+JsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+MetricRegistry::Slot&
+MetricRegistry::FindOrCreate(const std::string& name, MetricKind kind)
+{
+    POD_CHECK_ARG(!name.empty(), "metric name must be non-empty");
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        Slot& slot = slots_[it->second];
+        POD_CHECK_ARG(slot.kind == kind,
+                      "metric re-registered with a different kind");
+        return slot;
+    }
+    index_.emplace(name, slots_.size());
+    slots_.emplace_back();
+    slots_.back().name = name;
+    slots_.back().kind = kind;
+    return slots_.back();
+}
+
+Counter
+MetricRegistry::GetCounter(const std::string& name)
+{
+    return Counter(&FindOrCreate(name, MetricKind::kCounter).counter);
+}
+
+Gauge
+MetricRegistry::GetGauge(const std::string& name)
+{
+    return Gauge(&FindOrCreate(name, MetricKind::kGauge).gauge);
+}
+
+Histogram
+MetricRegistry::GetHistogram(const std::string& name, double lo,
+                             double hi, int num_bins)
+{
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+        Slot& slot = FindOrCreate(name, MetricKind::kHistogram);
+        slot.histogram = HistogramStats(lo, hi, num_bins);
+        return Histogram(&slot.histogram);
+    }
+    Slot& slot = slots_[it->second];
+    POD_CHECK_ARG(slot.kind == MetricKind::kHistogram,
+                  "metric re-registered with a different kind");
+    return Histogram(&slot.histogram);
+}
+
+void
+MetricRegistry::AddCounter(const std::string& name, long delta)
+{
+    GetCounter(name).Add(delta);
+}
+
+void
+MetricRegistry::SetGauge(const std::string& name, double value)
+{
+    GetGauge(name).Set(value);
+}
+
+bool
+MetricRegistry::Contains(const std::string& name) const
+{
+    return index_.find(name) != index_.end();
+}
+
+std::vector<MetricRegistry::Row>
+MetricRegistry::Rows() const
+{
+    std::vector<Row> rows;
+    rows.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+        Row row;
+        row.name = slot.name;
+        row.kind = slot.kind;
+        row.counter = slot.counter;
+        row.gauge = slot.gauge;
+        row.histogram = &slot.histogram;
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.name < b.name; });
+    return rows;
+}
+
+void
+MetricRegistry::WriteJson(std::ostream& out) const
+{
+    out << "{\"metrics\":[";
+    bool first = true;
+    for (const Row& row : Rows()) {
+        if (!first) out << ",";
+        first = false;
+        out << "\n  {\"name\":\"" << JsonEscape(row.name)
+            << "\",\"kind\":\"" << MetricKindName(row.kind) << "\"";
+        switch (row.kind) {
+            case MetricKind::kCounter:
+                out << ",\"value\":" << row.counter;
+                break;
+            case MetricKind::kGauge:
+                out << ",\"value\":" << FormatDouble(row.gauge);
+                break;
+            case MetricKind::kHistogram: {
+                const HistogramStats& h = *row.histogram;
+                out << ",\"count\":" << h.Count()
+                    << ",\"mean\":" << FormatDouble(h.Mean())
+                    << ",\"p50\":" << FormatDouble(h.Percentile(50))
+                    << ",\"p99\":" << FormatDouble(h.Percentile(99))
+                    << ",\"min\":" << FormatDouble(h.Min())
+                    << ",\"max\":" << FormatDouble(h.Max())
+                    << ",\"underflow\":" << h.Underflow()
+                    << ",\"overflow\":" << h.Overflow() << ",\"bins\":[";
+                for (size_t i = 0; i < h.Bins().size(); ++i) {
+                    if (i > 0) out << ",";
+                    out << h.Bins()[i];
+                }
+                out << "]";
+                break;
+            }
+        }
+        out << "}";
+    }
+    out << "\n]}\n";
+}
+
+void
+MetricRegistry::WriteCsv(std::ostream& out) const
+{
+    out << "name,kind,value,count,mean,p50,p99,min,max\n";
+    for (const Row& row : Rows()) {
+        out << row.name << "," << MetricKindName(row.kind) << ",";
+        switch (row.kind) {
+            case MetricKind::kCounter:
+                out << row.counter << ",,,,,,\n";
+                break;
+            case MetricKind::kGauge:
+                out << FormatDouble(row.gauge) << ",,,,,,\n";
+                break;
+            case MetricKind::kHistogram: {
+                const HistogramStats& h = *row.histogram;
+                out << "," << h.Count() << "," << FormatDouble(h.Mean())
+                    << "," << FormatDouble(h.Percentile(50)) << ","
+                    << FormatDouble(h.Percentile(99)) << ","
+                    << FormatDouble(h.Min()) << ","
+                    << FormatDouble(h.Max()) << "\n";
+                break;
+            }
+        }
+    }
+}
+
+void
+MetricRegistry::Clear()
+{
+    slots_.clear();
+    index_.clear();
+}
+
+}  // namespace pod::telemetry

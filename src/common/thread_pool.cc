@@ -12,9 +12,12 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads)
 {
     POD_CHECK_ARG(num_threads >= 1,
                   "thread pool needs at least one thread");
+    profile_.assign(static_cast<size_t>(num_threads),
+                    telemetry::ThreadStat{});
+    finish_time_.assign(static_cast<size_t>(num_threads), 0.0);
     workers_.reserve(static_cast<size_t>(num_threads - 1));
     for (int i = 0; i < num_threads - 1; ++i) {
-        workers_.emplace_back([this] { WorkerLoop(); });
+        workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
     }
 }
 
@@ -37,25 +40,60 @@ ThreadPool::ResolveThreads(int requested)
 }
 
 void
-ThreadPool::RunTasks()
+ThreadPool::EnableProfiling(bool on)
+{
+    // The mutex pairs this write with the workers' epoch-wait
+    // acquisition; the contract (call between ParallelFor rounds from
+    // the driving thread) rules out mid-epoch toggles.
+    std::lock_guard<std::mutex> lock(mu_);
+    profiling_ = on;
+}
+
+void
+ThreadPool::ResetProfile()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& stat : profile_) stat = telemetry::ThreadStat{};
+}
+
+void
+ThreadPool::RunTasks(int slot)
 {
     // Dynamic index claiming: fine for this library's use, where a
     // "task" is advancing one replica for a whole time window (coarse
     // and uneven), so stealing granularity matters more than locality.
+    const bool prof = profiling_;
+    double busy = 0.0;
+    long tasks = 0;
     int i;
     while ((i = next_.fetch_add(1, std::memory_order_relaxed)) <
            count_) {
+        const double t0 = prof ? telemetry::WallSeconds() : 0.0;
         try {
             (*task_)(i);
         } catch (...) {
             std::lock_guard<std::mutex> lock(mu_);
             if (!error_) error_ = std::current_exception();
         }
+        if (prof) {
+            busy += telemetry::WallSeconds() - t0;
+            ++tasks;
+        }
+    }
+    if (prof) {
+        // Timestamp the moment this thread ran out of work; after the
+        // barrier the caller turns it into barrier-wait time.
+        const double finished = telemetry::WallSeconds();
+        const auto s = static_cast<size_t>(slot);
+        std::lock_guard<std::mutex> lock(mu_);
+        profile_[s].busy += busy;
+        profile_[s].tasks += tasks;
+        finish_time_[s] = finished;
     }
 }
 
 void
-ThreadPool::WorkerLoop()
+ThreadPool::WorkerLoop(int slot)
 {
     long seen_epoch = 0;
     while (true) {
@@ -67,7 +105,7 @@ ThreadPool::WorkerLoop()
             if (stop_) return;
             seen_epoch = epoch_;
         }
-        RunTasks();
+        RunTasks(slot);
         {
             std::lock_guard<std::mutex> lock(mu_);
             ++workers_done_;
@@ -82,8 +120,14 @@ ThreadPool::ParallelFor(int count, const std::function<void(int)>& task)
     if (count <= 0) return;
     if (num_threads_ == 1 || count == 1) {
         // Inline degenerate path: no synchronization, exceptions
-        // propagate directly.
+        // propagate directly. Everything is caller busy time.
+        const bool prof = profiling_;
+        const double t0 = prof ? telemetry::WallSeconds() : 0.0;
         for (int i = 0; i < count; ++i) task(i);
+        if (prof) {
+            profile_[0].busy += telemetry::WallSeconds() - t0;
+            profile_[0].tasks += count;
+        }
         return;
     }
 
@@ -98,7 +142,7 @@ ThreadPool::ParallelFor(int count, const std::function<void(int)>& task)
     }
     work_cv_.notify_all();
 
-    RunTasks();  // the caller is one of the executing threads
+    RunTasks(0);  // the caller is one of the executing threads
 
     std::exception_ptr error;
     {
@@ -110,6 +154,15 @@ ThreadPool::ParallelFor(int count, const std::function<void(int)>& task)
         task_ = nullptr;
         error = error_;
         error_ = nullptr;
+        if (profiling_) {
+            // Every executing thread has stamped finish_time_ by now
+            // (workers increment workers_done_ only after RunTasks);
+            // the gap to the epoch's end is its barrier wait.
+            const double epoch_end = telemetry::WallSeconds();
+            for (size_t s = 0; s < profile_.size(); ++s) {
+                profile_[s].barrier_wait += epoch_end - finish_time_[s];
+            }
+        }
     }
     if (error) std::rethrow_exception(error);
 }

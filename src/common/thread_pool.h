@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/telemetry/profiler.h"
+
 namespace pod {
 
 /**
@@ -78,11 +80,33 @@ class ThreadPool
      */
     static int ResolveThreads(int requested);
 
+    /**
+     * Toggle per-thread wall-clock profiling (docs/OBSERVABILITY.md).
+     * When on, every ParallelFor splits each executing thread's time
+     * into task-execution (`busy`) and end-of-epoch idle
+     * (`barrier_wait` — from its last task finishing to the epoch's
+     * last task finishing). When off (default), no clock is read.
+     * Call only between ParallelFor calls, from the driving thread.
+     */
+    void EnableProfiling(bool on);
+
+    /**
+     * Per-executing-thread profile accumulated since the last
+     * ResetProfile(); index 0 is the calling thread. All-zero unless
+     * EnableProfiling(true). Read only between ParallelFor calls.
+     */
+    const std::vector<telemetry::ThreadStat>& Profile() const
+    {
+        return profile_;
+    }
+
+    void ResetProfile();
+
   private:
-    void WorkerLoop();
+    void WorkerLoop(int slot);
 
     /** Claim indices until the epoch's range is exhausted. */
-    void RunTasks();
+    void RunTasks(int slot);
 
     const int num_threads_;
 
@@ -98,6 +122,13 @@ class ThreadPool
     long epoch_ = 0;
     bool stop_ = false;
     std::exception_ptr error_;
+
+    // Profiling state (see EnableProfiling). `finish_time_[slot]` is
+    // written by its owning thread under mu_ during the epoch and
+    // read by the caller after the barrier.
+    bool profiling_ = false;
+    std::vector<telemetry::ThreadStat> profile_;
+    std::vector<double> finish_time_;
 
     std::vector<std::thread> workers_;
 };

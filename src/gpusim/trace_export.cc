@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Implementation of the gpusim -> trace-span adapter.
+ */
+#include "gpusim/trace_export.h"
+
+namespace pod::gpusim {
+
+void
+ExportKernelSpans(const SimResult& result,
+                  telemetry::TraceRecorder& recorder, double t0_seconds)
+{
+    for (const KernelTiming& kernel : result.kernels) {
+        int name_ref = recorder.InternName(kernel.name);
+        recorder.NamedSpan(telemetry::EventKind::kKernel, name_ref,
+                           t0_seconds + kernel.start_time,
+                           kernel.Duration(),
+                           telemetry::TraceRecorder::kEngineTrack);
+    }
+}
+
+}  // namespace pod::gpusim

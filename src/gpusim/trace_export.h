@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Export gpusim kernel timings as sim-time trace spans
+ * (docs/OBSERVABILITY.md). The GPU simulator already records
+ * per-launch start/end times in SimResult; this adapter replays them
+ * into a TraceRecorder so a kernel-level run can sit on a Perfetto
+ * timeline next to the serving layers — no hot-path hooks, zero cost
+ * unless called.
+ */
+#ifndef POD_GPUSIM_TRACE_EXPORT_H
+#define POD_GPUSIM_TRACE_EXPORT_H
+
+#include "common/telemetry/trace.h"
+#include "gpusim/sim_result.h"
+
+namespace pod::gpusim {
+
+/**
+ * Record one span per kernel launch (submission order, interned
+ * kernel names) onto the recorder's engine track, offset by
+ * `t0_seconds` (e.g. the iteration's start time when nesting a
+ * kernel-level result under a serving trace).
+ */
+void ExportKernelSpans(const SimResult& result,
+                       telemetry::TraceRecorder& recorder,
+                       double t0_seconds = 0.0);
+
+}  // namespace pod::gpusim
+
+#endif  // POD_GPUSIM_TRACE_EXPORT_H

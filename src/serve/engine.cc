@@ -216,6 +216,13 @@ ServingEngine::Submit(const Request& request)
     state.request = request;
     states_.push_back(state);
 
+    if (trace_) {
+        trace_->Instant(telemetry::EventKind::kArrival,
+                        request.arrival_time,
+                        telemetry::TraceRecorder::RequestTrack(request.id),
+                        request.prefill_tokens, request.decode_tokens);
+    }
+
     unadmitted_.push_back(static_cast<int>(states_.size()) - 1);
     prefill_tokens_pending_ += request.prefill_tokens;
     pending_unadmitted_blocks_ +=
@@ -241,6 +248,12 @@ ServingEngine::ApplyAdmissions(const SchedulingDecision& decision)
         POD_ASSERT(unadmitted_head_ < unadmitted_.size() &&
                    unadmitted_[unadmitted_head_] == idx);
         const RequestState& state = states_[static_cast<size_t>(idx)];
+        if (trace_) {
+            trace_->Instant(
+                telemetry::EventKind::kAdmit, now_,
+                telemetry::TraceRecorder::RequestTrack(state.request.id),
+                state.PrefillTarget());
+        }
         ++running_;
         decode_tokens_pending_ += state.request.decode_tokens;
         pending_unadmitted_blocks_ -=
@@ -260,6 +273,12 @@ ServingEngine::ApplyLifecycleTransitions(
 
     for (const auto& t : decision.restores) {
         RequestState& state = states_[static_cast<size_t>(t.req_index)];
+        if (trace_) {
+            trace_->Instant(
+                telemetry::EventKind::kRestore, now_,
+                telemetry::TraceRecorder::RequestTrack(state.request.id),
+                t.blocks, t.mode == PreemptMode::kSwap ? 1 : 0);
+        }
         ++running_;
         --preempted_now_;
         decode_tokens_pending_ +=
@@ -275,6 +294,15 @@ ServingEngine::ApplyLifecycleTransitions(
 
     for (const auto& t : decision.preemptions) {
         RequestState& state = states_[static_cast<size_t>(t.req_index)];
+        if (trace_) {
+            trace_->Instant(
+                t.mode == PreemptMode::kRecompute
+                    ? telemetry::EventKind::kPreemptRecompute
+                    : telemetry::EventKind::kPreemptSwap,
+                now_,
+                telemetry::TraceRecorder::RequestTrack(state.request.id),
+                t.blocks);
+        }
         --running_;
         ++preempted_now_;
         ++state.preempt_count;
@@ -315,6 +343,12 @@ ServingEngine::ApplyLifecycleTransitions(
 void
 ServingEngine::FinishRequest(RequestState& state, StepResult& result)
 {
+    if (trace_) {
+        trace_->Instant(
+            telemetry::EventKind::kFinish, now_,
+            telemetry::TraceRecorder::RequestTrack(state.request.id),
+            state.decoded);
+    }
     state.phase = Phase::kFinished;
     state.finish_time = now_;
     kv_->Release(state.request.id);
@@ -362,10 +396,22 @@ ServingEngine::Step()
     now_ += dt;
     ++iterations_;
     total_batch_tokens_ += batch.TotalTokens();
+    if (trace_) {
+        trace_->Span(telemetry::EventKind::kIteration, result.start, dt,
+                     telemetry::TraceRecorder::kEngineTrack,
+                     batch.TotalTokens(),
+                     static_cast<int64_t>(batch.decodes.size()));
+    }
 
     // Apply prefill progress.
     for (const auto& p : batch.prefills) {
         RequestState& state = states_[static_cast<size_t>(p.req_index)];
+        if (trace_) {
+            trace_->Span(
+                telemetry::EventKind::kPrefillChunk, result.start, dt,
+                telemetry::TraceRecorder::RequestTrack(state.request.id),
+                p.chunk_len, p.kv_len_after);
+        }
         state.prefilled += p.chunk_len;
         prefill_tokens_pending_ -= p.chunk_len;
         POD_ASSERT(state.prefilled <= state.PrefillTarget());
@@ -392,6 +438,12 @@ ServingEngine::Step()
     for (int idx : batch.decodes) {
         RequestState& state = states_[static_cast<size_t>(idx)];
         state.decoded += 1;
+        if (trace_) {
+            trace_->Instant(
+                telemetry::EventKind::kDecodeToken, now_,
+                telemetry::TraceRecorder::RequestTrack(state.request.id),
+                state.decoded);
+        }
         decode_tokens_pending_ -= 1;
         state.tbt.push_back(now_ - state.last_token_time);
         state.last_token_time = now_;

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/telemetry/trace.h"
 #include "core/attention.h"
 #include "gpusim/gpu_spec.h"
 #include "model/model_config.h"
@@ -303,6 +304,24 @@ class ServingEngine
 
     const ServingConfig& Config() const { return config_; }
 
+    /**
+     * Attach (or detach, with nullptr) a sim-time trace recorder
+     * (docs/OBSERVABILITY.md). While attached, the engine records the
+     * request-lifecycle event taxonomy — arrival, admission, prefill
+     * chunks, decode tokens, preemption/restore, completion — plus
+     * one iteration span per Step() onto the recorder, all stamped
+     * with sim time. Null (the default) is the zero-cost path: every
+     * emission site is a single pointer test. The recorder is not
+     * cleared by Reset(); the owner decides when a new capture
+     * starts.
+     */
+    void SetTraceRecorder(telemetry::TraceRecorder* recorder)
+    {
+        trace_ = recorder;
+    }
+
+    const telemetry::TraceRecorder* Trace() const { return trace_; }
+
   private:
     /** Memoized per-layer attention time for a bucketed signature. */
     double CachedAttnLayerTime(int chunk_len, int kv_len, int decode_bs,
@@ -336,6 +355,10 @@ class ServingEngine
 
     ServingConfig config_;
     std::unique_ptr<Scheduler> scheduler_;
+
+    /** Sim-time event sink; nullptr (default) disables tracing. */
+    telemetry::TraceRecorder* trace_ = nullptr;
+
     std::unordered_map<uint64_t, double> attn_cache_;
     long attn_cache_hits_ = 0;
     long attn_cache_misses_ = 0;

@@ -53,4 +53,46 @@ CollectMetrics(const std::vector<RequestState>& states, double makespan,
     return report;
 }
 
+void
+FillSampleStats(const SampleStats& stats,
+                telemetry::MetricRegistry& registry,
+                const std::string& prefix)
+{
+    registry.SetGauge(prefix + ".count",
+                      static_cast<double>(stats.Count()));
+    registry.SetGauge(prefix + ".mean_seconds", stats.Mean());
+    registry.SetGauge(prefix + ".p50_seconds", stats.Percentile(50.0));
+    registry.SetGauge(prefix + ".p99_seconds", stats.Percentile(99.0));
+    registry.SetGauge(prefix + ".max_seconds", stats.Max());
+}
+
+void
+FillRegistry(const MetricsReport& report,
+             telemetry::MetricRegistry& registry,
+             const std::string& prefix)
+{
+    registry.AddCounter(prefix + "requests", report.num_requests);
+    registry.AddCounter(prefix + "iterations", report.iterations);
+    registry.AddCounter(prefix + "preempt.total", report.preemptions);
+    registry.AddCounter(prefix + "preempt.recompute",
+                        report.preemptions_recompute);
+    registry.AddCounter(prefix + "preempt.swap", report.preemptions_swap);
+    registry.AddCounter(prefix + "preempt.requests",
+                        report.requests_preempted);
+    registry.SetGauge(prefix + "makespan_seconds", report.makespan);
+    registry.SetGauge(prefix + "requests_per_minute",
+                      report.requests_per_minute);
+    registry.SetGauge(prefix + "batch_tokens.mean",
+                      report.mean_batch_tokens);
+    registry.SetGauge(prefix + "stalled.frac_200ms",
+                      report.frac_stalled_200ms);
+    registry.SetGauge(prefix + "stalled.frac_500ms",
+                      report.frac_stalled_500ms);
+    registry.SetGauge(prefix + "swap.total_seconds",
+                      report.swap_time_total);
+    FillSampleStats(report.ttft, registry, prefix + "ttft");
+    FillSampleStats(report.tbt, registry, prefix + "tbt");
+    FillSampleStats(report.latency, registry, prefix + "latency");
+}
+
 }  // namespace pod::serve

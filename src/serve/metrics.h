@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/telemetry/registry.h"
 #include "serve/request.h"
 
 namespace pod::serve {
@@ -72,6 +73,26 @@ struct MetricsReport
 MetricsReport CollectMetrics(const std::vector<RequestState>& states,
                              double makespan, long iterations,
                              double total_batch_tokens);
+
+/**
+ * Publish a report into a metric registry under `prefix` (e.g.
+ * "serve." -> "serve.latency.p99_seconds"), following the
+ * docs/OBSERVABILITY.md naming scheme. Counts become counters,
+ * scalars gauges; the TTFT/TBT/latency sample sets are summarized as
+ * count/mean/p50/p99/max gauges.
+ */
+void FillRegistry(const MetricsReport& report,
+                  telemetry::MetricRegistry& registry,
+                  const std::string& prefix = "serve.");
+
+/**
+ * Publish SampleStats summary gauges (`<prefix>.count/.mean_seconds/
+ * .p50_seconds/.p99_seconds/.max_seconds`). Shared by the serve and
+ * cluster registry bridges.
+ */
+void FillSampleStats(const SampleStats& stats,
+                     telemetry::MetricRegistry& registry,
+                     const std::string& prefix);
 
 }  // namespace pod::serve
 

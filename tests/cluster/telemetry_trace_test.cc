@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Trace schema-sanity and determinism tests (docs/OBSERVABILITY.md):
+ *
+ *  - Schema: the exported Chrome trace is valid JSON (checked by a
+ *    minimal parser, no external deps), every per-track event stream
+ *    is monotone in sim time, spans carry non-negative durations that
+ *    stay inside the run, and each traced request's lifecycle is
+ *    well-formed (one arrival, admits precede finishes, exactly one
+ *    finish).
+ *  - Determinism: trace bytes are identical across thread counts
+ *    {1, 2, 4} and across repeated runs — the sim-time trace is a
+ *    pure function of the scenario, never of the thread schedule.
+ *  - Zero-cost-when-off: a tracing-enabled engine produces the exact
+ *    same report as an untraced one (tracing only observes).
+ */
+#include "cluster/cluster_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../golden_scenarios.h"
+#include "cluster/router.h"
+#include "common/telemetry/trace.h"
+#include "report_compare.h"
+#include "serve/scheduler.h"
+
+namespace pod::cluster {
+namespace {
+
+using pod::cluster::test::ExpectReportsEqual;
+
+// --------------------------------------------------- minimal JSON
+// Just enough of a recursive-descent parser to reject structural
+// breakage (unbalanced braces, bad escapes, malformed numbers) in the
+// exporter's output; semantic checks run on the raw event buffers.
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string& text) : text_(text) {}
+
+    bool Valid()
+    {
+        pos_ = 0;
+        bool ok = Value();
+        SkipWs();
+        return ok && pos_ == text_.size();
+    }
+
+  private:
+    void SkipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool Literal(const char* word)
+    {
+        size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0) return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool String()
+    {
+        if (text_[pos_] != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size()) return false;
+        ++pos_;  // closing quote
+        return true;
+    }
+
+    bool Number()
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+')) {
+            ++pos_;
+        }
+        bool digits = false;
+        auto eat_digits = [&] {
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                digits = true;
+            }
+        };
+        eat_digits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            eat_digits();
+        }
+        if (digits && pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '-' || text_[pos_] == '+')) {
+                ++pos_;
+            }
+            bool exp_digits = false;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                exp_digits = true;
+            }
+            if (!exp_digits) return false;
+        }
+        return digits && pos_ > start;
+    }
+
+    bool Value()
+    {
+        SkipWs();
+        if (pos_ >= text_.size()) return false;
+        char c = text_[pos_];
+        if (c == '{') return Object();
+        if (c == '[') return Array();
+        if (c == '"') return String();
+        if (c == 't') return Literal("true");
+        if (c == 'f') return Literal("false");
+        if (c == 'n') return Literal("null");
+        return Number();
+    }
+
+    bool Object()
+    {
+        ++pos_;  // '{'
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            SkipWs();
+            if (!String()) return false;
+            SkipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+            ++pos_;
+            if (!Value()) return false;
+            SkipWs();
+            if (pos_ >= text_.size()) return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool Array()
+    {
+        ++pos_;  // '['
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!Value()) return false;
+            SkipWs();
+            if (pos_ >= text_.size()) return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+};
+
+// ------------------------------------------------------- fixtures
+
+SchedulerFactory
+Sarathi()
+{
+    return [](int) {
+        return std::make_unique<serve::SarathiScheduler>(512);
+    };
+}
+
+serve::ServingConfig
+BaseConfig()
+{
+    serve::ServingConfig config;
+    config.backend = core::Backend::kFaSerial;
+    config.kv_bucket = 4096;
+    config.context_bucket = 4096;
+    config.decode_bs_bucket = 32;
+    config.chunk_bucket = 256;
+    return config;
+}
+
+/** Memory-tight watermark fleet: exercises preempt/restore events. */
+serve::ServingConfig
+WatermarkConfig()
+{
+    serve::ServingConfig config = BaseConfig();
+    config.tensor_parallel = 2;
+    config.memory_fraction = 0.0958;
+    config.kv_policy = serve::KvPolicy::kWatermark;
+    config.kv_preempt_mode = serve::PreemptMode::kSwap;
+    return config;
+}
+
+std::unique_ptr<ClusterEngine>
+TracedCluster(const serve::ServingConfig& base, int replicas,
+              int threads)
+{
+    auto cluster = std::make_unique<ClusterEngine>(
+        ClusterConfig::Homogeneous(base, replicas), Sarathi(),
+        MakeRouter("least-kv"), threads);
+    cluster->EnableTracing();
+    return cluster;
+}
+
+std::string
+ExportedTrace(ClusterEngine& cluster)
+{
+    std::ostringstream out;
+    cluster.WriteChromeTrace(out);
+    return out.str();
+}
+
+// ---------------------------------------------------------- tests
+
+TEST(TelemetryTrace, ExportIsValidJson)
+{
+    auto cluster = TracedCluster(BaseConfig(), 2, 1);
+    cluster->Run(golden::ServeTrace());
+    std::string json = ExportedTrace(*cluster);
+    EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TelemetryTrace, PreemptionSceneIsValidJsonWithLifecycleEvents)
+{
+    auto cluster = TracedCluster(WatermarkConfig(), 2, 1);
+    ClusterMetricsReport report = cluster->Run(golden::OverloadTrace(16));
+    ASSERT_GT(report.preemptions, 0)
+        << "scenario must exercise the preemption path";
+    std::string json = ExportedTrace(*cluster);
+    EXPECT_TRUE(JsonChecker(json).Valid());
+    EXPECT_NE(json.find("\"preempt_swap\""), std::string::npos);
+    EXPECT_NE(json.find("\"restore\""), std::string::npos);
+}
+
+TEST(TelemetryTrace, PerTrackSimTimeIsMonotonic)
+{
+    auto cluster = TracedCluster(BaseConfig(), 2, 1);
+    cluster->Run(golden::ServeTrace());
+    for (const auto& recorder : cluster->Recorders()) {
+        std::map<int32_t, double> last_ts;
+        for (const auto& e : recorder.Events()) {
+            auto it = last_ts.find(e.tid);
+            if (it != last_ts.end()) {
+                EXPECT_GE(e.ts, it->second)
+                    << "pid " << recorder.Pid() << " tid " << e.tid;
+            }
+            last_ts[e.tid] = e.ts;
+            EXPECT_GE(e.dur, 0.0);
+            EXPECT_TRUE(telemetry::EventKindIsSpan(e.kind) ||
+                        e.dur == 0.0);
+        }
+    }
+}
+
+TEST(TelemetryTrace, RequestLifecyclesAreWellFormed)
+{
+    auto cluster = TracedCluster(WatermarkConfig(), 2, 1);
+    cluster->Run(golden::OverloadTrace(16));
+    int total_finishes = 0;
+    for (const auto& recorder : cluster->Recorders()) {
+        if (recorder.Pid() == 0) continue;  // router process
+        // tid -> (arrivals, admits, finishes) per request track.
+        std::map<int32_t, std::vector<int>> counts;
+        for (const auto& e : recorder.Events()) {
+            if (e.tid == telemetry::TraceRecorder::kEngineTrack) {
+                continue;
+            }
+            auto& c = counts[e.tid];
+            c.resize(3, 0);
+            using EK = telemetry::EventKind;
+            if (e.kind == EK::kArrival) {
+                ++c[0];
+                EXPECT_EQ(c[1], 0) << "arrival after admit";
+            } else if (e.kind == EK::kAdmit) {
+                ++c[1];
+            } else if (e.kind == EK::kFinish) {
+                ++c[2];
+                ++total_finishes;
+            } else {
+                EXPECT_EQ(c[2], 0)
+                    << "event after finish on tid " << e.tid;
+            }
+        }
+        for (const auto& [tid, c] : counts) {
+            EXPECT_EQ(c[0], 1) << "arrivals on tid " << tid;
+            EXPECT_GE(c[1], 1) << "admits on tid " << tid;
+            EXPECT_EQ(c[2], 1) << "finishes on tid " << tid;
+        }
+    }
+    EXPECT_EQ(total_finishes, 16);  // every request finished once
+}
+
+TEST(TelemetryTrace, RouterRecordsEveryArrivalOnce)
+{
+    auto trace = golden::ServeTrace();
+    auto cluster = TracedCluster(BaseConfig(), 2, 1);
+    cluster->Run(trace);
+    // Route instants appear in the order Run() consumes arrivals.
+    std::sort(trace.begin(), trace.end(), serve::ArrivalOrder);
+    const auto& router = cluster->Recorders().front();
+    ASSERT_EQ(router.Pid(), 0);
+    ASSERT_EQ(router.Events().size(), trace.size());
+    for (size_t i = 0; i < router.Events().size(); ++i) {
+        const auto& e = router.Events()[i];
+        EXPECT_EQ(e.kind, telemetry::EventKind::kRoute);
+        EXPECT_EQ(e.a0, trace[i].id);
+        EXPECT_GE(e.a1, 0);
+        EXPECT_LT(e.a1, 2);
+        EXPECT_EQ(e.ts, trace[i].arrival_time);
+    }
+}
+
+TEST(TelemetryTrace, IterationSpansCoverPrefillChunks)
+{
+    auto cluster = TracedCluster(BaseConfig(), 2, 1);
+    cluster->Run(golden::ServeTrace());
+    for (const auto& recorder : cluster->Recorders()) {
+        if (recorder.Pid() == 0) continue;
+        // Chunk spans ride the same [start, start+dur] window as the
+        // iteration that executed them.
+        std::vector<const telemetry::TraceEvent*> iterations;
+        for (const auto& e : recorder.Events()) {
+            if (e.kind == telemetry::EventKind::kIteration) {
+                iterations.push_back(&e);
+            }
+        }
+        ASSERT_FALSE(iterations.empty());
+        for (const auto& e : recorder.Events()) {
+            if (e.kind != telemetry::EventKind::kPrefillChunk) continue;
+            bool covered = false;
+            for (const auto* it : iterations) {
+                if (e.ts == it->ts && e.dur == it->dur) {
+                    covered = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(covered)
+                << "orphan prefill chunk at ts=" << e.ts;
+        }
+    }
+}
+
+TEST(TelemetryTrace, BytesIdenticalAcrossThreadCounts)
+{
+    // The ISSUE's headline determinism claim: per-replica buffers are
+    // written only by the owning worker and merged in recorder order,
+    // so the exported bytes never depend on the thread schedule.
+    auto oracle = TracedCluster(WatermarkConfig(), 3, 1);
+    ClusterMetricsReport oracle_report =
+        oracle->Run(golden::OverloadTrace(16));
+    const std::string oracle_bytes = ExportedTrace(*oracle);
+
+    for (int threads : {2, 4}) {
+        auto parallel = TracedCluster(WatermarkConfig(), 3, threads);
+        ClusterMetricsReport report =
+            parallel->Run(golden::OverloadTrace(16));
+        SCOPED_TRACE(::testing::Message() << threads << " threads");
+        ExpectReportsEqual(oracle_report, report);
+        EXPECT_EQ(oracle_bytes, ExportedTrace(*parallel));
+    }
+}
+
+TEST(TelemetryTrace, BytesIdenticalAcrossRepeatedRuns)
+{
+    auto cluster = TracedCluster(BaseConfig(), 2, 2);
+    cluster->Run(golden::ServeTrace());
+    const std::string first = ExportedTrace(*cluster);
+    cluster->Run(golden::ServeTrace());
+    EXPECT_EQ(first, ExportedTrace(*cluster));
+}
+
+TEST(TelemetryTrace, TracingDoesNotPerturbResults)
+{
+    // Tracing only observes: an instrumented run must produce the
+    // exact report an untraced engine produces (the property that
+    // lets the exact-golden regression nets run unchanged).
+    ClusterEngine plain(ClusterConfig::Homogeneous(BaseConfig(), 2),
+                        Sarathi(), MakeRouter("least-kv"), 1);
+    ClusterMetricsReport expected = plain.Run(golden::ServeTrace());
+
+    auto traced = TracedCluster(BaseConfig(), 2, 1);
+    ClusterMetricsReport got = traced->Run(golden::ServeTrace());
+    ExpectReportsEqual(expected, got);
+}
+
+TEST(TelemetryTrace, ProfilingDoesNotPerturbResultsEither)
+{
+    ClusterEngine plain(ClusterConfig::Homogeneous(BaseConfig(), 2),
+                        Sarathi(), MakeRouter("least-kv"), 1);
+    ClusterMetricsReport expected = plain.Run(golden::ServeTrace());
+
+    ClusterEngine profiled(ClusterConfig::Homogeneous(BaseConfig(), 2),
+                           Sarathi(), MakeRouter("least-kv"), 2);
+    profiled.EnableProfiling(true);
+    ClusterMetricsReport got = profiled.Run(golden::ServeTrace());
+    ExpectReportsEqual(expected, got);
+
+    // The profile itself reports the advance work and per-thread
+    // splits (host time, so only sanity-checked).
+    const telemetry::ClusterProfile& profile = profiled.Profile();
+    EXPECT_GT(profile.run.seconds, 0.0);
+    EXPECT_GT(profile.pool_rounds, 0);
+    ASSERT_EQ(profile.threads.size(), 2u);
+    long tasks = 0;
+    for (const auto& t : profile.threads) tasks += t.tasks;
+    EXPECT_GT(tasks, 0);
+}
+
+}  // namespace
+}  // namespace pod::cluster

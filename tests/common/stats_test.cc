@@ -1,6 +1,6 @@
 /**
  * @file
- * Unit tests for SampleStats and GeoMean.
+ * Unit tests for SampleStats, HistogramStats and GeoMean.
  */
 #include "common/stats.h"
 
@@ -88,6 +88,124 @@ TEST(SampleStats, SummaryMentionsCount)
     SampleStats s;
     s.AddAll({1.0, 2.0});
     EXPECT_NE(s.Summary().find("n=2"), std::string::npos);
+}
+
+TEST(HistogramStats, EmptyIsZero)
+{
+    HistogramStats h(0.0, 10.0, 5);
+    EXPECT_EQ(h.Count(), 0);
+    EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramStats, ExactMomentsBinnedCounts)
+{
+    HistogramStats h(0.0, 10.0, 5);
+    h.Add(1.0);  // bin 0
+    h.Add(3.0);  // bin 1
+    h.Add(3.5);  // bin 1
+    h.Add(9.0);  // bin 4
+    EXPECT_EQ(h.Count(), 4);
+    EXPECT_DOUBLE_EQ(h.Mean(), 4.125);
+    EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.Max(), 9.0);
+    EXPECT_DOUBLE_EQ(h.Sum(), 16.5);
+    ASSERT_EQ(h.Bins().size(), 5u);
+    EXPECT_EQ(h.Bins()[0], 1);
+    EXPECT_EQ(h.Bins()[1], 2);
+    EXPECT_EQ(h.Bins()[2], 0);
+    EXPECT_EQ(h.Bins()[4], 1);
+    EXPECT_EQ(h.Underflow(), 0);
+    EXPECT_EQ(h.Overflow(), 0);
+}
+
+TEST(HistogramStats, UnderflowOverflowStillCounted)
+{
+    HistogramStats h(0.0, 1.0, 4);
+    h.Add(-5.0);
+    h.Add(0.5);
+    h.Add(3.0);
+    EXPECT_EQ(h.Count(), 3);
+    EXPECT_EQ(h.Underflow(), 1);
+    EXPECT_EQ(h.Overflow(), 1);
+    EXPECT_DOUBLE_EQ(h.Min(), -5.0);
+    EXPECT_DOUBLE_EQ(h.Max(), 3.0);
+    // Percentiles clamp to the exact observed range.
+    EXPECT_DOUBLE_EQ(h.Percentile(0), -5.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(100), 3.0);
+}
+
+TEST(HistogramStats, PercentileWithinBinWidth)
+{
+    // 1000 uniform samples: every bin-estimated percentile must land
+    // within one bin width of the exact order statistic.
+    HistogramStats h(0.0, 1.0, 100);
+    SampleStats exact;
+    for (int i = 0; i < 1000; ++i) {
+        double v = (i * 7919 % 1000) / 1000.0;
+        h.Add(v);
+        exact.Add(v);
+    }
+    const double bin_width = 1.0 / 100;
+    for (double p : {1.0, 10.0, 50.0, 90.0, 99.0}) {
+        EXPECT_NEAR(h.Percentile(p), exact.Percentile(p), bin_width)
+            << "p=" << p;
+    }
+}
+
+TEST(HistogramStats, BoundaryValuesLandInExpectedBins)
+{
+    HistogramStats h(0.0, 10.0, 5);
+    h.Add(0.0);   // inclusive lower edge -> bin 0
+    h.Add(2.0);   // bin edge -> bin 1
+    h.Add(10.0);  // exclusive upper edge -> overflow
+    EXPECT_EQ(h.Bins()[0], 1);
+    EXPECT_EQ(h.Bins()[1], 1);
+    EXPECT_EQ(h.Overflow(), 1);
+    EXPECT_DOUBLE_EQ(h.BinLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.BinHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.BinLow(4), 8.0);
+}
+
+TEST(HistogramStats, MergeMatchesCombinedStream)
+{
+    HistogramStats a(0.0, 10.0, 10);
+    HistogramStats b(0.0, 10.0, 10);
+    HistogramStats combined(0.0, 10.0, 10);
+    for (int i = 0; i < 50; ++i) {
+        double v = (i * 13 % 100) / 10.0;
+        (i % 2 == 0 ? a : b).Add(v);
+        combined.Add(v);
+    }
+    a.Merge(b);
+    EXPECT_EQ(a.Count(), combined.Count());
+    EXPECT_DOUBLE_EQ(a.Sum(), combined.Sum());
+    EXPECT_DOUBLE_EQ(a.Min(), combined.Min());
+    EXPECT_DOUBLE_EQ(a.Max(), combined.Max());
+    EXPECT_EQ(a.Bins(), combined.Bins());
+    EXPECT_DOUBLE_EQ(a.Percentile(50), combined.Percentile(50));
+}
+
+TEST(HistogramStats, ClearKeepsGeometry)
+{
+    HistogramStats h(0.0, 4.0, 4);
+    h.Add(1.0);
+    h.Add(9.0);
+    h.Clear();
+    EXPECT_EQ(h.Count(), 0);
+    EXPECT_EQ(h.Overflow(), 0);
+    h.Add(3.5);
+    EXPECT_EQ(h.Bins()[3], 1);
+}
+
+TEST(HistogramStats, SummaryMentionsCount)
+{
+    HistogramStats h(0.0, 1.0, 2);
+    h.Add(0.25);
+    h.Add(0.75);
+    EXPECT_NE(h.Summary().find("n=2"), std::string::npos);
 }
 
 TEST(GeoMean, Basics)

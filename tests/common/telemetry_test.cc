@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit tests for the telemetry layer (docs/OBSERVABILITY.md): the
+ * named metric registry (handle-based updates, kind checking,
+ * name-sorted deterministic export), FormatDouble round-tripping, the
+ * sim-time TraceRecorder, the Chrome trace-event exporter, and the
+ * gpusim kernel-span adapter.
+ */
+#include "common/telemetry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/telemetry/profiler.h"
+#include "common/telemetry/trace.h"
+#include "gpusim/sim_result.h"
+#include "gpusim/trace_export.h"
+
+namespace pod::telemetry {
+namespace {
+
+// ---------------------------------------------------------- registry
+
+TEST(MetricRegistry, CounterHandleUpdatesSlot)
+{
+    MetricRegistry registry;
+    Counter c = registry.GetCounter("test.counter");
+    c.Add();
+    c.Add(41);
+    EXPECT_EQ(c.Value(), 42);
+    // Re-registering the same name returns the same slot.
+    Counter again = registry.GetCounter("test.counter");
+    again.Add(8);
+    EXPECT_EQ(c.Value(), 50);
+    EXPECT_EQ(registry.Size(), 1u);
+}
+
+TEST(MetricRegistry, GaugeLastWriteWins)
+{
+    MetricRegistry registry;
+    Gauge g = registry.GetGauge("test.gauge");
+    g.Set(1.5);
+    g.Set(-2.25);
+    EXPECT_DOUBLE_EQ(g.Value(), -2.25);
+}
+
+TEST(MetricRegistry, HistogramHandleAccumulates)
+{
+    MetricRegistry registry;
+    Histogram h = registry.GetHistogram("test.hist", 0.0, 10.0, 10);
+    h.Add(1.0);
+    h.Add(9.5);
+    EXPECT_EQ(h.Stats().Count(), 2);
+    EXPECT_DOUBLE_EQ(h.Stats().Max(), 9.5);
+}
+
+TEST(MetricRegistry, HandlesSurviveRegistryGrowth)
+{
+    // Slots live in a deque: handles taken early must stay valid as
+    // hundreds of later registrations grow the table.
+    MetricRegistry registry;
+    Counter first = registry.GetCounter("aaa.first");
+    for (int i = 0; i < 500; ++i) {
+        registry.GetCounter("filler." + std::to_string(i));
+    }
+    first.Add(7);
+    EXPECT_EQ(registry.GetCounter("aaa.first").Value(), 7);
+}
+
+TEST(MetricRegistryDeathTest, KindMismatchIsFatal)
+{
+    MetricRegistry registry;
+    registry.GetCounter("test.name");
+    EXPECT_DEATH(registry.GetGauge("test.name"), "kind");
+}
+
+TEST(MetricRegistry, RowsAreNameSorted)
+{
+    MetricRegistry registry;
+    registry.AddCounter("zebra", 1);
+    registry.SetGauge("alpha", 2.0);
+    registry.AddCounter("middle", 3);
+    std::vector<MetricRegistry::Row> rows = registry.Rows();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, "alpha");
+    EXPECT_EQ(rows[1].name, "middle");
+    EXPECT_EQ(rows[2].name, "zebra");
+    EXPECT_EQ(rows[1].counter, 3);
+    EXPECT_DOUBLE_EQ(rows[0].gauge, 2.0);
+}
+
+TEST(MetricRegistry, JsonAndCsvExportsAreDeterministic)
+{
+    // Same content registered in different orders must export
+    // identical bytes (Rows() sorts by name).
+    MetricRegistry a;
+    a.AddCounter("x.count", 3);
+    a.SetGauge("a.value", 0.1);
+    MetricRegistry b;
+    b.SetGauge("a.value", 0.1);
+    b.AddCounter("x.count", 3);
+
+    std::ostringstream ja, jb, ca, cb;
+    a.WriteJson(ja);
+    b.WriteJson(jb);
+    a.WriteCsv(ca);
+    b.WriteCsv(cb);
+    EXPECT_EQ(ja.str(), jb.str());
+    EXPECT_EQ(ca.str(), cb.str());
+    EXPECT_NE(ja.str().find("\"metrics\""), std::string::npos);
+    EXPECT_NE(ca.str().find("name,kind"), std::string::npos);
+}
+
+TEST(MetricRegistry, JsonIncludesHistogramSummary)
+{
+    MetricRegistry registry;
+    Histogram h = registry.GetHistogram("lat", 0.0, 1.0, 4);
+    h.Add(0.3);
+    h.Add(0.7);
+    std::ostringstream out;
+    registry.WriteJson(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"bins\""), std::string::npos);
+}
+
+TEST(FormatDouble, RoundTripsExactly)
+{
+    for (double v : {0.0, 1.0, -2.5, 0.1, 1.0 / 3.0, 1e-300, 123456.789,
+                     9.951304347826087e-1}) {
+        std::string s = FormatDouble(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+// ------------------------------------------------------------- trace
+
+TEST(TraceRecorder, RecordsEventsInOrder)
+{
+    TraceRecorder recorder(1, "replica0");
+    recorder.Instant(EventKind::kArrival, 0.5,
+                     TraceRecorder::RequestTrack(3), 128, 16);
+    recorder.Span(EventKind::kIteration, 0.5, 0.01,
+                  TraceRecorder::kEngineTrack, 128, 0);
+    ASSERT_EQ(recorder.Events().size(), 2u);
+    EXPECT_EQ(recorder.Events()[0].kind, EventKind::kArrival);
+    EXPECT_EQ(recorder.Events()[0].tid, 4);
+    EXPECT_EQ(recorder.Events()[0].a0, 128);
+    EXPECT_DOUBLE_EQ(recorder.Events()[1].dur, 0.01);
+    EXPECT_EQ(recorder.Pid(), 1);
+    EXPECT_EQ(recorder.ProcessName(), "replica0");
+}
+
+TEST(TraceRecorder, InternNameDeduplicates)
+{
+    TraceRecorder recorder(0, "p");
+    int a = recorder.InternName("attn_prefill");
+    int b = recorder.InternName("attn_decode");
+    int a2 = recorder.InternName("attn_prefill");
+    EXPECT_EQ(a, a2);
+    EXPECT_NE(a, b);
+    ASSERT_EQ(recorder.Names().size(), 2u);
+    EXPECT_EQ(recorder.Names()[static_cast<size_t>(a)], "attn_prefill");
+}
+
+TEST(TraceRecorder, ClearKeepsIdentityDropsEvents)
+{
+    TraceRecorder recorder(2, "p");
+    recorder.Instant(EventKind::kFinish, 1.0, 0);
+    recorder.InternName("k");
+    recorder.Clear();
+    EXPECT_TRUE(recorder.Events().empty());
+    EXPECT_TRUE(recorder.Names().empty());
+    EXPECT_EQ(recorder.Pid(), 2);
+}
+
+TEST(EventKind, NamesAndSpanFlags)
+{
+    EXPECT_STREQ(EventKindName(EventKind::kPrefillChunk),
+                 "prefill_chunk");
+    EXPECT_STREQ(EventKindName(EventKind::kRoute), "route");
+    EXPECT_TRUE(EventKindIsSpan(EventKind::kIteration));
+    EXPECT_TRUE(EventKindIsSpan(EventKind::kKernel));
+    EXPECT_FALSE(EventKindIsSpan(EventKind::kDecodeToken));
+}
+
+TEST(WriteChromeTrace, MergesRecordersDeterministically)
+{
+    TraceRecorder router(0, "cluster");
+    TraceRecorder replica(1, "replica0");
+    router.Instant(EventKind::kRoute, 0.25, 0, 7, 0);
+    replica.Instant(EventKind::kArrival, 0.25,
+                    TraceRecorder::RequestTrack(7), 64, 8);
+    replica.Span(EventKind::kIteration, 0.25, 0.0125, 0, 64, 0);
+
+    std::ostringstream a, b;
+    WriteChromeTrace(a, {&router, &replica});
+    WriteChromeTrace(b, {&router, &replica});
+    EXPECT_EQ(a.str(), b.str());
+
+    const std::string json = a.str();
+    // Envelope and metadata.
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"cluster\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"replica0\""), std::string::npos);
+    // Sim seconds -> trace microseconds (round-trip %g formatting).
+    EXPECT_NE(json.find("\"ts\":2.5e+05"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":1.25e+04"), std::string::npos);
+    // Instants carry thread scope, spans are complete events.
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(WriteChromeTrace, TieBreaksByRecorderOrder)
+{
+    // Two events at the same ts in different recorders: the recorder
+    // passed first must export first, independent of insertion
+    // interleaving — the property the cluster merge relies on.
+    TraceRecorder first(0, "a");
+    TraceRecorder second(1, "b");
+    second.Instant(EventKind::kFinish, 1.0, 0);
+    first.Instant(EventKind::kFinish, 1.0, 0);
+    std::ostringstream out;
+    WriteChromeTrace(out, {&first, &second});
+    const std::string json = out.str();
+    size_t pid0 = json.find("\"ph\":\"i\",\"pid\":0");
+    size_t pid1 = json.find("\"ph\":\"i\",\"pid\":1");
+    ASSERT_NE(pid0, std::string::npos);
+    ASSERT_NE(pid1, std::string::npos);
+    EXPECT_LT(pid0, pid1);
+}
+
+// --------------------------------------------------------- profiler
+
+TEST(Profiler, WallClockIsMonotonic)
+{
+    double a = WallSeconds();
+    double b = WallSeconds();
+    EXPECT_GE(b, a);
+}
+
+TEST(Profiler, FillRegistryPublishesPhaseAndThreadStats)
+{
+    ClusterProfile profile;
+    profile.advance.seconds = 1.5;
+    profile.advance.count = 10;
+    profile.pool_rounds = 10;
+    profile.threads.push_back(ThreadStat{1.0, 0.25, 32});
+    profile.threads.push_back(ThreadStat{0.75, 0.5, 16});
+
+    MetricRegistry registry;
+    profile.FillRegistry(registry, "profile.");
+    EXPECT_TRUE(registry.Contains("profile.advance.seconds"));
+    EXPECT_TRUE(registry.Contains("profile.thread0.busy_seconds"));
+    EXPECT_TRUE(
+        registry.Contains("profile.thread1.barrier_wait_seconds"));
+
+    std::string summary = profile.Summary();
+    EXPECT_NE(summary.find("advance"), std::string::npos);
+    EXPECT_NE(summary.find("thread"), std::string::npos);
+}
+
+// ------------------------------------------------- gpusim adapter
+
+TEST(ExportKernelSpans, OneSpanPerKernelWithInternedNames)
+{
+    gpusim::SimResult result;
+    result.kernels.push_back(
+        gpusim::KernelTiming{"attn_prefill", 0.0, 0.002});
+    result.kernels.push_back(
+        gpusim::KernelTiming{"attn_decode", 0.002, 0.0035});
+    result.kernels.push_back(
+        gpusim::KernelTiming{"attn_prefill", 0.0035, 0.004});
+
+    TraceRecorder recorder(1, "gpu");
+    gpusim::ExportKernelSpans(result, recorder, 10.0);
+
+    ASSERT_EQ(recorder.Events().size(), 3u);
+    EXPECT_EQ(recorder.Names().size(), 2u);  // names deduplicated
+    const TraceEvent& e0 = recorder.Events()[0];
+    EXPECT_EQ(e0.kind, EventKind::kKernel);
+    EXPECT_DOUBLE_EQ(e0.ts, 10.0);
+    EXPECT_DOUBLE_EQ(e0.dur, 0.002);
+    EXPECT_EQ(recorder.Names()[static_cast<size_t>(e0.name_ref)],
+              "attn_prefill");
+    // Interned display names surface in the export.
+    std::ostringstream out;
+    WriteChromeTrace(out, {&recorder});
+    EXPECT_NE(out.str().find("\"name\":\"attn_decode\""),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace pod::telemetry

@@ -11,8 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace pod {
@@ -152,6 +154,81 @@ TEST(ThreadPoolTest, ResolveThreadsClampsToHardware)
 TEST(ThreadPoolTest, RejectsNonPositiveThreadCount)
 {
     EXPECT_DEATH(ThreadPool(0), "at least one thread");
+}
+
+TEST(ThreadPoolTest, ProfilingCountsTasksAndBusyTime)
+{
+    ThreadPool pool(4);
+    pool.EnableProfiling(true);
+    std::atomic<long> total{0};
+    pool.ParallelFor(64, [&](int i) { total.fetch_add(i); });
+    pool.ParallelFor(64, [&](int i) { total.fetch_add(i); });
+
+    const auto& profile = pool.Profile();
+    ASSERT_EQ(profile.size(), 4u);
+    long tasks = 0;
+    for (const auto& stat : profile) {
+        tasks += stat.tasks;
+        EXPECT_GE(stat.busy, 0.0);
+        EXPECT_GE(stat.barrier_wait, 0.0);
+    }
+    EXPECT_EQ(tasks, 128);
+
+    pool.ResetProfile();
+    for (const auto& stat : pool.Profile()) {
+        EXPECT_EQ(stat.tasks, 0);
+        EXPECT_DOUBLE_EQ(stat.busy, 0.0);
+        EXPECT_DOUBLE_EQ(stat.barrier_wait, 0.0);
+    }
+}
+
+TEST(ThreadPoolTest, ProfilingAttributesBarrierWaitToFastThreads)
+{
+    // One deliberately slow task: the other executing threads finish
+    // their (empty) share early and must be charged barrier-wait time
+    // roughly matching the straggler — the measurement the ROADMAP
+    // work-stealing item needs.
+    ThreadPool pool(2);
+    pool.EnableProfiling(true);
+    pool.ParallelFor(2, [&](int i) {
+        if (i == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    });
+    const auto& profile = pool.Profile();
+    ASSERT_EQ(profile.size(), 2u);
+    double total_busy = 0.0;
+    double total_wait = 0.0;
+    for (const auto& stat : profile) {
+        total_busy += stat.busy;
+        total_wait += stat.barrier_wait;
+    }
+    // The straggler contributes >= 20 ms busy; the other thread waits
+    // for it (timing slop keeps the bound loose).
+    EXPECT_GE(total_busy, 0.015);
+    EXPECT_GE(total_wait, 0.010);
+}
+
+TEST(ThreadPoolTest, ProfilingOffRecordsNothing)
+{
+    ThreadPool pool(2);
+    pool.ParallelFor(8, [](int) {});
+    for (const auto& stat : pool.Profile()) {
+        EXPECT_EQ(stat.tasks, 0);
+        EXPECT_DOUBLE_EQ(stat.busy, 0.0);
+        EXPECT_DOUBLE_EQ(stat.barrier_wait, 0.0);
+    }
+}
+
+TEST(ThreadPoolTest, ProfilingInlinePathChargesCaller)
+{
+    ThreadPool pool(1);
+    pool.EnableProfiling(true);
+    pool.ParallelFor(5, [](int) {});
+    const auto& profile = pool.Profile();
+    ASSERT_EQ(profile.size(), 1u);
+    EXPECT_EQ(profile[0].tasks, 5);
+    EXPECT_GE(profile[0].busy, 0.0);
 }
 
 }  // namespace
