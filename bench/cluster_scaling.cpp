@@ -20,16 +20,19 @@
  * threads). Results are bit-identical to serial at any N — the knob
  * only changes wall-clock time.
  *
- * `--long-smoke` runs a 200k-request, 2-replica trace against a
+ * `--long-smoke` runs a 1M-request, 2-replica trace against a
  * wall-clock budget. It exists to pin the O(active) complexity of the
- * serving/cluster loops: with the pre-PR-3 full-state rescans
- * (O(N^2 * R) in trace length) this trace takes ~168 s on the dev
- * box versus ~17 s with the incremental accounting, so a regression
- * of that class bursts the 90 s budget (the CI runs this on every
- * push; the budget leaves ~5x headroom for slow shared runners while
- * sitting ~2x under the regressed cost).
+ * serving/cluster loops end to end: the pre-PR-3 full-state rescans
+ * (O(N^2 * R) in trace length) and the pre-admitted-watermark
+ * scheduler scans (O(trace) per iteration while a long backlog
+ * queues) each cost ~380 s on the dev box at this trace length,
+ * versus ~6 s with the incremental accounting plus bounded
+ * batch-building scans. A regression of either class bursts the 60 s
+ * budget (the CI runs this on every push; the budget leaves ~10x
+ * headroom for slow shared runners while sitting ~6x under the
+ * regressed cost).
  *
- * `--long-smoke --threads N` is the parallel pin: the same 200k
+ * `--long-smoke --threads N` is the parallel pin: the same 1M
  * requests on an 8-replica fleet, run serial then parallel, with the
  * two reports compared bit-exactly and the parallel run held to the
  * same wall-clock budget. When the host has >= N hardware threads
@@ -153,13 +156,13 @@ EmitTelemetry(const TelemetryOptions& telemetry, int threads)
 }
 
 /**
- * The 200k-request complexity pin. Short prompts and decodes keep the
+ * The 1M-request complexity pin. Short prompts and decodes keep the
  * per-iteration simulation work small, so wall-clock time is
  * dominated by the loop bookkeeping this smoke exists to bound. The
- * budget sits ~5x above the measured O(active) runtime (17 s) and
- * ~2x under the measured cost of the old rescanning loops (168 s),
- * so it tolerates slow shared CI runners while still failing on an
- * O(N^2)-class regression.
+ * budget sits ~10x above the measured O(active) runtime (6.3 s) and
+ * ~6x under the measured cost of unbounded batch-building scans
+ * (382 s), so it tolerates slow shared CI runners while still
+ * failing on an O(N^2)-class regression.
  */
 std::vector<serve::Request>
 LongSmokeTrace(int requests)
@@ -201,11 +204,11 @@ TimedLongRun(const std::vector<serve::Request>& trace, int replicas,
 int
 RunLongSmoke(int threads)
 {
-    constexpr int kRequests = 200'000;
-    constexpr double kBudgetSeconds = 90.0;
-    // Serial pin: 2 replicas (the PR 3 figure). Parallel pin: 8
-    // replicas, where a 4-thread advance phase has enough independent
-    // replica work to show its >= 2x.
+    constexpr int kRequests = 1'000'000;
+    constexpr double kBudgetSeconds = 60.0;
+    // Serial pin: 2 replicas. Parallel pin: 8 replicas, where a
+    // 4-thread advance phase has enough independent replica work to
+    // show its >= 2x.
     const int replicas = threads > 1 ? 8 : 2;
 
     auto trace = LongSmokeTrace(kRequests);
@@ -301,10 +304,10 @@ main(int argc, char** argv)
     if (long_smoke) {
         Header("cluster_scaling --long-smoke",
                threads > 1
-                   ? "200k-request pin for the parallel cluster "
+                   ? "1M-request pin for the parallel cluster "
                      "engine: bit-identity and scaling vs the serial "
                      "oracle"
-                   : "200k-request complexity pin for the O(active) "
+                   : "1M-request complexity pin for the O(active) "
                      "serving/cluster loops");
         int rc = RunLongSmoke(threads);
         EmitTelemetry(telemetry, threads);

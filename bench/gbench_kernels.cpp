@@ -73,18 +73,43 @@ BM_FlashRefTiled(benchmark::State& state)
 }
 BENCHMARK(BM_FlashRefTiled)->Arg(256)->Arg(1024)->Arg(4096);
 
+/**
+ * The serving engine's per-iteration costing path, on both event
+ * cores (docs/DESIGN.md S3): arg 0 is the analytic fast path (the
+ * default everywhere), arg 1 the stepwise ExactOracle. CI uploads the
+ * JSON of this run as the `bench-trajectory` artifact, so the pair
+ * tracks both the fast path's absolute cost and its speedup over the
+ * oracle across commits. The user counters record how one costing
+ * call splits across the cores — the analytic run must report zero
+ * oracle events and vice versa (the same discipline the regression
+ * suites assert).
+ */
 void
 BM_IterationCost(benchmark::State& state)
 {
+    core::AttnRunOptions options;
+    options.sim.core = state.range(0) == 0
+                           ? gpusim::EngineCore::kAnalytic
+                           : gpusim::EngineCore::kExactOracle;
     model::IterationCostModel cost(model::ModelConfig::Llama3_8B(), A100(),
-                                   2, core::Backend::kPod);
+                                   2, core::Backend::kPod, options);
     auto batch = kernels::HybridBatch::Make(Llama3Tp2Shape(), 1024, 16384,
                                             48, 16384);
     for (auto _ : state) {
         benchmark::DoNotOptimize(cost.Cost(batch, 49).total);
     }
+    auto probe = core::RunAttention(core::Backend::kPod, batch, A100(),
+                                    options);
+    state.counters["fastpath_events"] = benchmark::Counter(
+        static_cast<double>(probe.analytic_fastpath_events));
+    state.counters["fallback_events"] = benchmark::Counter(
+        static_cast<double>(probe.oracle_fallback_events));
 }
-BENCHMARK(BM_IterationCost)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IterationCost)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("core")
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -173,9 +173,13 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
     // contains this run's lookups.
     std::vector<long> cache_hits_base(num_replicas, 0);
     std::vector<long> cache_misses_base(num_replicas, 0);
+    std::vector<long> fastpath_base(num_replicas, 0);
+    std::vector<long> fallback_base(num_replicas, 0);
     for (size_t r = 0; r < num_replicas; ++r) {
         cache_hits_base[r] = replicas_[r].AttnCacheHits();
         cache_misses_base[r] = replicas_[r].AttnCacheMisses();
+        fastpath_base[r] = replicas_[r].SimFastpathEvents();
+        fallback_base[r] = replicas_[r].SimFallbackEvents();
     }
 
     std::vector<ReplicaAccum> accum(num_replicas);
@@ -292,6 +296,14 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
         report.attn_cache_hits += report.utilization[r].attn_cache_hits;
         report.attn_cache_misses +=
             report.utilization[r].attn_cache_misses;
+        report.utilization[r].sim_fastpath_events =
+            replica.SimFastpathEvents() - fastpath_base[r];
+        report.utilization[r].sim_fallback_events =
+            replica.SimFallbackEvents() - fallback_base[r];
+        report.sim_fastpath_events +=
+            report.utilization[r].sim_fastpath_events;
+        report.sim_fallback_events +=
+            report.utilization[r].sim_fallback_events;
         report.preemptions += report.per_replica[r].preemptions;
         report.preemptions_recompute +=
             report.per_replica[r].preemptions_recompute;
@@ -318,6 +330,9 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
     report.fleet.preemptions_recompute = report.preemptions_recompute;
     report.fleet.preemptions_swap = report.preemptions_swap;
     report.fleet.swap_time_total = report.swap_time_total;
+    // Sim-core event counts likewise live only in the engines.
+    report.fleet.sim_fastpath_events = report.sim_fastpath_events;
+    report.fleet.sim_fallback_events = report.sim_fallback_events;
     report.request_imbalance_cv = CoefficientOfVariation(request_counts);
     report.token_imbalance_cv = CoefficientOfVariation(token_counts);
     if (prof) {

@@ -60,6 +60,10 @@ FillRegistry(const ClusterMetricsReport& report,
                         report.attn_cache_misses);
     registry.SetGauge(prefix + "attn_cache.hit_rate",
                       report.AttnCacheHitRate());
+    registry.AddCounter(prefix + "sim_core.fastpath_events",
+                        report.sim_fastpath_events);
+    registry.AddCounter(prefix + "sim_core.fallback_events",
+                        report.sim_fallback_events);
     registry.AddCounter(prefix + "preempt.total", report.preemptions);
     registry.AddCounter(prefix + "preempt.recompute",
                         report.preemptions_recompute);

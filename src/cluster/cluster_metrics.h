@@ -41,6 +41,12 @@ struct ReplicaUtilization
     long attn_cache_hits = 0;
     long attn_cache_misses = 0;
 
+    // Sim-core telemetry (docs/DESIGN.md S3.2): events this Run()'s
+    // attention simulations handled in the closed-form analytic core
+    // vs the stepwise oracle (fallbacks or ExactOracle replicas).
+    long sim_fastpath_events = 0;
+    long sim_fallback_events = 0;
+
     /** Cache hits / (hits + misses); 0 when no lookups happened. */
     double AttnCacheHitRate() const;
 };
@@ -85,6 +91,11 @@ struct ClusterMetricsReport
     long attn_cache_entries = 0;
     long attn_cache_hits = 0;
     long attn_cache_misses = 0;
+
+    // Fleet-wide sim-core rollup (sums of the per-replica counters in
+    // `utilization`).
+    long sim_fastpath_events = 0;
+    long sim_fallback_events = 0;
 
     // Fleet-wide request-lifecycle rollup (sums of the per-replica
     // MetricsReport counters; docs/DESIGN.md S2). Nonzero only when

@@ -97,6 +97,8 @@ MakeResult(Backend backend, const gpusim::SimResult& sim,
     result.mem_util = sim.mem_util;
     result.energy_joules = sim.energy_joules;
     result.total_ctas = sim.total_ctas;
+    result.analytic_fastpath_events = sim.analytic_fastpath_events;
+    result.oracle_fallback_events = sim.oracle_fallback_events;
     if (sim.total_time > 0.0) {
         result.useful_tensor_util =
             useful_flops / (sim.total_time * spec.TotalTensorFlops());

@@ -83,6 +83,13 @@ struct AttnRunResult
     /** CTAs launched. */
     int total_ctas = 0;
 
+    /** Sim-core telemetry: events handled by the closed-form analytic
+     *  core vs stepwise-oracle events (fallbacks or ExactOracle runs).
+     *  Mirrors gpusim::SimResult; summed over the kernels this run
+     *  simulated. */
+    long analytic_fastpath_events = 0;
+    long oracle_fallback_events = 0;
+
     /** Resolved POD plan (valid when backend == kPod). */
     PodPlan pod_plan;
 };

@@ -1,946 +1,762 @@
 /**
  * @file
- * Implementation of the fluid GPU execution engine.
+ * The closed-form analytic event core (EngineCore::kAnalytic) and the
+ * FluidEngine entry points.
  *
- * The event core is incremental (PR 3): instead of recomputing every
- * rate from scratch at each event, the simulation tracks which SMs
- * could have changed and reuses cached allocations everywhere else.
- * What may be cached is dictated by the rate model itself:
+ * The stepwise engine (engine_oracle.cc) pays O(active units) per
+ * event: it rescans every unit to find the next completion and
+ * re-runs the water-fill of every pacing-coupled SM because paced
+ * compute caps drift as memory progresses. This core removes both
+ * costs by freezing each unit's rates for the interval between the
+ * transitions that touch its SM and integrating progress in closed
+ * form (docs/DESIGN.md S5.4 derives the average-rate pacing freeze
+ * and why it does not move memory-bound completion times):
  *
- *  - Memory rates depend only on *which* units still stream memory
- *    (their per-unit caps are static), so each SM's bandwidth demand
- *    is cached and recomputed only when that membership changes
- *    (dispatch, retirement, a memory dimension draining, a phase or
- *    refill transition).
- *  - Compute rates are pinned to memory progress through the pacing
- *    cap (a unit still streaming memory only *wants* the compute rate
- *    that keeps pace with it), so any SM hosting such a coupled unit
- *    must re-run its water-fill every event; SMs whose resident units
- *    are all single-resource reuse the cached allocation. This is
- *    also why a global min-heap of unit completion times cannot drive
- *    the loop bit-identically: coupled rates drift at every event, so
- *    completion *times* are only valid for one interval.
+ *  - Progress is materialized lazily: remaining work is a linear
+ *    function of time (compute dims) or of the global memory virtual
+ *    time S = integral of global_mem_scale dt (memory dims), so a
+ *    unit is only touched when its own SM changes.
+ *  - Completions come from two min-heaps keyed by real time (compute)
+ *    and by S (memory). Keying memory drains in S makes a change of
+ *    the global HBM scale O(1): it re-times every pending memory
+ *    completion without touching a single heap entry. The heaps hold
+ *    one entry per SM (the minimum over that SM's residents), not one
+ *    per unit: a recompute pushes at most two entries per dirty SM
+ *    instead of two per resident, and a pop rediscovers the due units
+ *    with an O(residents) scan — a cost the recompute pays anyway.
+ *    Per-unit keys live in flat arrays between recomputes.
+ *  - Rates are recomputed only for SMs whose demand set changed
+ *    (dispatch, drain, phase/refill transition, retirement), via the
+ *    same per-SM cap/water-fill arithmetic as the oracle. Per-SM
+ *    generation counters lazily invalidate superseded heap entries.
+ *  - Accounting is O(op classes) per event: per-op rate sums are
+ *    maintained incrementally and multiplied by dt (or dS for memory
+ *    terms) per interval.
  *
- * All caching is arithmetic-preserving: a recomputation performs the
- * exact floating-point operations of the original full rescan, in the
- * same order, so results stay bit-identical (pinned by
- * tests/gpusim/engine_regression_test.cc).
+ * Per-unit hot state lives in flat parallel arrays (SoA), so the
+ * per-SM recompute sweeps touch only the lanes they need.
  *
- * Storage is laid out by access frequency: per-unit state touched
- * every event lives in one compact record (UnitHot); static rate
- * caps, completion flags and per-SM cache state live in small
- * parallel arrays so the per-event loops never drag the wide
- * bookkeeping structs through the cache. Phase lists live in one
- * arena, so dispatching a unit performs no per-unit allocation.
+ * The cores share all discrete machinery (placement, dispatch,
+ * occupancy, phase/refill transitions) through SimulationBase in
+ * engine_internal.h, so they can never disagree on a discrete
+ * decision; the analytic results are cross-checked against the oracle
+ * by tests/gpusim/analytic_oracle_test.cc within the tolerance bands
+ * documented in docs/DESIGN.md S3.2.
  */
 #include "gpusim/engine.h"
 
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <queue>
 #include <vector>
 
 #include "common/logging.h"
+#include "gpusim/engine_internal.h"
 #include "gpusim/water_fill.h"
 
 namespace pod::gpusim {
 
+namespace detail {
+
 namespace {
 
-/** Work below this many FLOPs/bytes counts as finished. */
-constexpr double kDoneEps = 1e-3;
-
-/** Upper bound on simulation events, guards against engine bugs. */
-constexpr long kMaxEvents = 200'000'000;
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/**
- * Relative margin under which the closed-form "everyone gets their
- * cap" shortcut for an under-subscribed water-fill is not trusted:
- * within it, the exact sequential water-fill runs instead, so shares
- * perturbed by summation rounding can never flip an allocation.
- */
-constexpr double kUndersubscribedMargin = 1.0 - 1e-12;
-
-/**
- * Safety factor for multiply-compare filters that avoid divisions:
- * `a/b < c` is decided without dividing only when `a` clears
- * `b * c * kFilterMargin`, which over-covers the at-most-4-ulp
- * relative error of the product-vs-quotient comparison. Inside the
- * band, the exact division runs, so filtered decisions are always
- * bit-identical to dividing.
- */
-constexpr double kFilterMargin = 1.0 + 1e-12;
-
-/**
- * Sort (cap, unit id) pairs ascending. Keys are unique (unit ids
- * differ), so any comparison sort yields the identical sequence;
- * insertion sort beats std::sort at the handful-of-residents sizes
- * the per-SM water-fill sees every event.
- */
-inline void
-SortCaps(std::vector<std::pair<double, int>>& caps)
+/** One pending SM event: min key (time or S) over residents. */
+struct HeapEntry
 {
-    if (caps.size() > 24) {
-        std::sort(caps.begin(), caps.end());
-        return;
+    double key = 0.0;
+    int sm = -1;
+    uint32_t gen = 0;
+};
+
+/** Min-heap order on (key, sm): deterministic for equal keys. */
+struct EntryAfter
+{
+    bool
+    operator()(const HeapEntry& a, const HeapEntry& b) const
+    {
+        if (a.key != b.key) return a.key > b.key;
+        return a.sm > b.sm;
     }
-    for (size_t i = 1; i < caps.size(); ++i) {
-        std::pair<double, int> key = caps[i];
-        size_t j = i;
-        for (; j > 0 && key < caps[j - 1]; --j) {
-            caps[j] = caps[j - 1];
-        }
-        caps[j] = key;
-    }
-}
-
-/**
- * Per-unit state touched every event: six doubles + bookkeeping in a
- * packed 56-byte record. Measured faster than padding to a full
- * 64-byte line — the per-event sweeps are bandwidth-bound, so 12%
- * less traffic beats the occasional straddled line.
- */
-struct UnitHot
-{
-    double rem_tensor = 0.0;
-    double rem_cuda = 0.0;
-    double rem_mem = 0.0;
-    // Rates allocated for the current interval. Rates of a drained
-    // dimension may be stale; every reader gates on rem > kDoneEps.
-    // The final memory rate is r_mem_pre * global_mem_scale_.
-    double r_tensor = 0.0;
-    double r_cuda = 0.0;
-    double r_mem_pre = 0.0;
-    /** Home SM (duplicated from UnitState for the hot loops). */
-    int sm = -1;
-    /** Op class (duplicated from UnitState for the hot loops). */
-    OpClass op = OpClass::kOther;
 };
 
-/** Static per-unit rate caps, derived once per dispatch/refill. */
-struct UnitCaps
-{
-    double tensor_cap = 0.0;
-    double cuda_cap = 0.0;
-    double mem_base = 0.0;
-};
+using EventHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryAfter>;
 
-/** Per-unit bookkeeping read at transitions, not every event. */
-struct UnitState
+/** Full analytic-core state; one instance per Run call. */
+class AnalyticSimulation : public SimulationBase<AnalyticSimulation>
 {
-    int cta = -1;
-    int sm = -1;
-    OpClass op = OpClass::kOther;
-    int warps = 4;
-    double mem_bw_cap = 0.0;
-    /** Remaining phases: arena range [phase_next, phase_end). */
-    uint32_t phase_next = 0;
-    uint32_t phase_end = 0;
-    bool done = false;
-};
+    using Base = SimulationBase<AnalyticSimulation>;
+    friend Base;
 
-/** Mutable execution state of one CTA. */
-struct CtaState
-{
-    int kernel = -1;
-    int sm = -1;
-    int threads = 0;
-    double smem = 0.0;
-    int remaining_units = 0;
-};
-
-/** Mutable state of one SM (occupancy; rate caches live in arrays). */
-struct SmState
-{
-    int free_threads = 0;
-    double free_smem = 0.0;
-    int resident_ctas = 0;
-    /** Resident CTA count per kernel (indexed by kernel id). */
-    std::vector<int> kernel_resident;
-    /** Ids of active (not done) units on this SM. */
-    std::vector<int> active_units;
-};
-
-/** Mutable state of one kernel launch. */
-struct KernelState
-{
-    const KernelDesc* desc = nullptr;
-    int stream = 0;
-    int dispatched = 0;
-    int completed_ctas = 0;
-    bool started = false;
-    bool finished = false;
-    double ready_time = kInf;
-    double start_time = 0.0;
-    double end_time = 0.0;
-};
-
-/** One in-order stream of kernels. */
-struct StreamState
-{
-    std::vector<int> kernels;
-    size_t head = 0;
-};
-
-/** Full simulation state; one instance per FluidEngine::Run call. */
-class Simulation
-{
   public:
-    Simulation(const GpuSpec& spec, const SimOptions& options,
-               const std::vector<KernelLaunch>& launches)
-        : spec_(spec), options_(options), rng_(options.seed)
+    AnalyticSimulation(const GpuSpec& spec, const SimOptions& options,
+                       const std::vector<KernelLaunch>& launches)
+        : Base(spec, options, launches)
     {
         size_t num_sms = static_cast<size_t>(spec_.num_sms);
-        sms_.resize(num_sms);
-        for (auto& sm : sms_) {
-            sm.free_threads = spec_.max_threads_per_sm;
-            sm.free_smem = spec_.shared_mem_per_sm;
-            sm.kernel_resident.assign(launches.size(), 0);
-        }
-        sm_active_count_.assign(num_sms, 0);
         sm_mem_want_.assign(num_sms, 0.0);
-        sm_mem_dirty_.assign(num_sms, 0);
-        sm_compute_dirty_.assign(num_sms, 0);
-        sm_coupled_.assign(num_sms, 0);
-
-        kernels_.reserve(launches.size());
-        int max_stream = 0;
-        for (const auto& launch : launches) {
-            max_stream = std::max(max_stream, launch.stream);
-        }
-        streams_.resize(static_cast<size_t>(max_stream) + 1);
-        for (size_t i = 0; i < launches.size(); ++i) {
-            KernelState ks;
-            ks.desc = &launches[i].kernel;
-            ks.stream = launches[i].stream;
-            POD_CHECK_ARG(ks.desc->cta_count >= 0,
-                          "kernel CTA count must be >= 0");
-            POD_CHECK_ARG(ks.desc->cta_count == 0 || ks.desc->assign,
-                          "kernel with CTAs needs an assign function");
-            kernels_.push_back(ks);
-            streams_[static_cast<size_t>(launches[i].stream)]
-                .kernels.push_back(static_cast<int>(i));
-        }
-        // Arm the head kernel of every stream.
-        for (auto& stream : streams_) {
-            ArmHead(stream, 0.0);
-        }
+        sm_dirty_.assign(num_sms, 0);
+        sm_gen_.assign(num_sms, 1);
+        dirty_sms_.reserve(num_sms);
     }
 
     SimResult Run();
 
   private:
-    /** Make the stream-head kernel dispatchable after launch overhead. */
-    void
-    ArmHead(StreamState& stream, double now)
-    {
-        while (stream.head < stream.kernels.size()) {
-            KernelState& ks =
-                kernels_[static_cast<size_t>(stream.kernels[stream.head])];
-            ks.ready_time = now + options_.kernel_launch_overhead;
-            if (ks.desc->cta_count > 0) {
-                break;
-            }
-            // Empty kernel: completes as soon as it becomes ready.
-            ks.started = true;
-            ks.finished = true;
-            ++finished_kernels_;
-            ks.start_time = ks.ready_time;
-            ks.end_time = ks.ready_time;
-            ++stream.head;
-        }
-    }
+    // ---- SimulationBase hooks ----
 
-    /** True if the CTA footprint fits on the SM right now. */
+    /** Append the unit's SoA lanes; false if it has no work. */
     bool
-    Fits(const SmState& sm, const KernelDesc& desc, int kernel_id) const
+    AddUnit(UnitState& us, const UnitCaps& caps)
     {
-        if (sm.free_threads < desc.resources.threads) return false;
-        if (sm.free_smem < desc.resources.shared_mem_bytes) return false;
-        if (sm.resident_ctas >= spec_.max_ctas_per_sm) return false;
-        if (desc.max_ctas_per_sm > 0 &&
-            sm.kernel_resident[static_cast<size_t>(kernel_id)] >=
-                desc.max_ctas_per_sm) {
+        double rt = 0.0;
+        double rc = 0.0;
+        double rm = 0.0;
+        if (!LoadNextPhase(us, rt, rc, rm)) {
+            // Unit with no work: completes immediately.
             return false;
         }
+        int uid = static_cast<int>(units_.size());
+        units_.push_back(us);
+        rem_t_.push_back(rt);
+        rem_c_.push_back(rc);
+        rem_m_.push_back(rm);
+        old_t_.push_back(0.0);
+        old_c_.push_back(0.0);
+        old_mp_.push_back(0.0);
+        comp_key_.push_back(kInf);
+        mem_key_.push_back(kInf);
+        r_t_.push_back(0.0);
+        r_c_.push_back(0.0);
+        r_mp_.push_back(0.0);
+        ar_t_.push_back(0.0);
+        ar_c_.push_back(0.0);
+        ar_mp_.push_back(0.0);
+        cap_t_.push_back(caps.tensor_cap);
+        cap_c_.push_back(caps.cuda_cap);
+        cap_m_.push_back(caps.mem_base);
+        unit_sm_.push_back(us.sm);
+        unit_op_.push_back(us.op);
+        last_t_.push_back(now_);
+        last_s_.push_back(s_time_);
+        sms_[static_cast<size_t>(us.sm)].active_units.push_back(uid);
+        ++num_active_;
+        // Rates and heap entries come from the RecomputeDirty pass
+        // that follows every dispatch (OnSmTouched below).
         return true;
     }
 
-    /**
-     * Choose an SM for the next CTA: first fit scanning round-robin
-     * from a rotating pointer (models the hardware work distributor),
-     * optionally skipping to the next fit with placement_jitter
-     * probability. Returns -1 if nothing fits.
-     */
-    int
-    PickSm(const KernelDesc& desc, int kernel_id)
+    /** Queue the SM for a rate recompute before time advances again. */
+    void
+    OnSmTouched(int sm_id)
     {
-        int first_fit = -1;
-        int second_fit = -1;
-        for (int off = 0; off < spec_.num_sms; ++off) {
-            int sm = (rr_pointer_ + off) % spec_.num_sms;
-            if (Fits(sms_[static_cast<size_t>(sm)], desc, kernel_id)) {
-                if (first_fit < 0) {
-                    first_fit = sm;
-                    if (options_.placement_jitter <= 0.0) break;
-                } else {
-                    second_fit = sm;
-                    break;
+        if (!sm_dirty_[static_cast<size_t>(sm_id)]) {
+            sm_dirty_[static_cast<size_t>(sm_id)] = 1;
+            dirty_sms_.push_back(sm_id);
+        }
+    }
+
+    /** Re-derive static caps after a refill swapped the lane's work. */
+    void
+    SetUnitCaps(int uid, const UnitState& u)
+    {
+        UnitCaps caps;
+        SetStaticCaps(u, caps);
+        cap_t_[static_cast<size_t>(uid)] = caps.tensor_cap;
+        cap_c_[static_cast<size_t>(uid)] = caps.cuda_cap;
+        cap_m_[static_cast<size_t>(uid)] = caps.mem_base;
+    }
+
+    void
+    OnUnitRetired(int /*uid*/, int /*sm_id*/)
+    {
+        --num_active_;
+    }
+
+    // ---- closed-form integration ----
+
+    /**
+     * Bring the unit's remaining work up to (now_, s_time_) under its
+     * frozen rates. Rates of drained dimensions are kept at exactly 0
+     * by RecomputeSmRates, so no liveness gate is needed here.
+     */
+    void
+    Materialize(int uid)
+    {
+        const size_t i = static_cast<size_t>(uid);
+        double dt = now_ - last_t_[i];
+        if (dt > 0.0) {
+            rem_t_[i] -= r_t_[i] * dt;
+            rem_c_[i] -= r_c_[i] * dt;
+            last_t_[i] = now_;
+        }
+        double ds = s_time_ - last_s_[i];
+        if (ds > 0.0) {
+            rem_m_[i] -= r_mp_[i] * ds;
+            last_s_[i] = s_time_;
+        }
+    }
+
+    /** Drop the unit's contribution to the per-op rate sums. */
+    void
+    RemoveFromAggregates(int uid)
+    {
+        const size_t i = static_cast<size_t>(uid);
+        const size_t op = static_cast<size_t>(unit_op_[i]);
+        sum_rt_[op] -= ar_t_[i];
+        sum_rc_[op] -= ar_c_[i];
+        sum_mp_[op] -= ar_mp_[i];
+        ar_t_[i] = 0.0;
+        ar_c_[i] = 0.0;
+        ar_mp_[i] = 0.0;
+    }
+
+    /**
+     * Recompute rates, per-op sums and heap entries for every queued
+     * dirty SM: materialize residents, redo the memory split (per-unit
+     * cap, per-SM cap, incremental global want), then the demand-aware
+     * compute water-fill — the same arithmetic the oracle runs, just
+     * only for SMs whose demand set actually changed.
+     */
+    void
+    RecomputeDirty()
+    {
+        if (dirty_sms_.empty()) return;
+
+        // Pass A: memory demand per dirty SM; global want updated
+        // incrementally so untouched SMs cost nothing.
+        for (int s : dirty_sms_) {
+            const auto& list = sms_[static_cast<size_t>(s)].active_units;
+            double want = 0.0;
+            for (int uid : list) {
+                Materialize(uid);
+                const size_t i = static_cast<size_t>(uid);
+                old_mp_[i] = r_mp_[i];
+                double r =
+                    rem_m_[i] > kDoneEps ? cap_m_[i] : 0.0;
+                r_mp_[i] = r;
+                want += r;
+            }
+            if (want > spec_.sm_bandwidth_cap) {
+                double scale = spec_.sm_bandwidth_cap / want;
+                for (int uid : list) {
+                    r_mp_[static_cast<size_t>(uid)] *= scale;
+                }
+                want = spec_.sm_bandwidth_cap;
+            }
+            global_want_ +=
+                want - sm_mem_want_[static_cast<size_t>(s)];
+            sm_mem_want_[static_cast<size_t>(s)] = want;
+        }
+        if (global_want_ < 0.0) global_want_ = 0.0;  // rounding drift
+        global_mem_scale_ = global_want_ > spec_.hbm_bandwidth
+                                ? spec_.hbm_bandwidth / global_want_
+                                : 1.0;
+
+        // Pass B: compute water-fill per dirty SM (needs the new
+        // global scale for the pacing caps), then refresh each
+        // resident's aggregate contribution and heap entries.
+        for (int s : dirty_sms_) {
+            sm_dirty_[static_cast<size_t>(s)] = 0;
+            const auto& list = sms_[static_cast<size_t>(s)].active_units;
+            tensor_caps_.clear();
+            cuda_caps_.clear();
+            double tensor_sum = 0.0;
+            double cuda_sum = 0.0;
+            for (int uid : list) {
+                const size_t i = static_cast<size_t>(uid);
+                old_t_[i] = r_t_[i];
+                old_c_[i] = r_c_[i];
+                r_t_[i] = 0.0;
+                r_c_[i] = 0.0;
+                // Pacing cap, average-rate form. The oracle freezes
+                // the instantaneous cap 1.1*rem_x*r_mem/rem_m and
+                // re-derives it every global event; integrating those
+                // dynamics gives rem_x ~ rem_m^1.1, i.e. a paced dim
+                // completes exactly at the memory horizon, never
+                // before. Freezing the instantaneous cap at OUR event
+                // density would instead drain the dim linearly and
+                // finish it 1/1.1 early, cascading spurious events.
+                // So this core freezes the trajectory's average rate
+                // rem_x*r_mem/rem_m — the unique constant rate that
+                // reproduces the continuum completion time and the
+                // exact served-work total (docs/DESIGN.md S3.2).
+                double r_mem = r_mp_[i] * global_mem_scale_;
+                bool paced = rem_m_[i] > kDoneEps && r_mem > 0.0;
+                if (rem_t_[i] > kDoneEps) {
+                    double cap = cap_t_[i];
+                    if (paced) {
+                        cap = std::min(
+                            cap, rem_t_[i] * r_mem / rem_m_[i]);
+                    }
+                    tensor_caps_.emplace_back(cap, uid);
+                    tensor_sum += cap;
+                }
+                if (rem_c_[i] > kDoneEps) {
+                    double cap = cap_c_[i];
+                    if (paced) {
+                        cap = std::min(
+                            cap, rem_c_[i] * r_mem / rem_m_[i]);
+                    }
+                    cuda_caps_.emplace_back(cap, uid);
+                    cuda_sum += cap;
                 }
             }
+            if (!tensor_caps_.empty()) {
+                AllocateMaxMin(tensor_caps_, tensor_sum,
+                               spec_.tensor_flops_per_sm,
+                               kUndersubscribedMargin,
+                               [this](int uid, double rate) {
+                                   r_t_[static_cast<size_t>(uid)] = rate;
+                               });
+            }
+            if (!cuda_caps_.empty()) {
+                AllocateMaxMin(cuda_caps_, cuda_sum,
+                               spec_.cuda_flops_per_sm,
+                               kUndersubscribedMargin,
+                               [this](int uid, double rate) {
+                                   r_c_[static_cast<size_t>(uid)] = rate;
+                               });
+            }
+
+            uint32_t g = ++sm_gen_[static_cast<size_t>(s)];
+            double sm_ckey = kInf;
+            double sm_mkey = kInf;
+            for (int uid : list) {
+                const size_t i = static_cast<size_t>(uid);
+                // Rates identical to the previous interval: the
+                // unit's stored keys (derived when those rates were
+                // first frozen) still describe the same linear
+                // trajectory, so keep them instead of re-deriving.
+                // This is exact, not a relaxation — it only skips
+                // work when the water-fill reproduced the same
+                // allocation bit-for-bit.
+                if (r_t_[i] != old_t_[i] || r_c_[i] != old_c_[i] ||
+                    r_mp_[i] != old_mp_[i]) {
+                    const size_t op = static_cast<size_t>(unit_op_[i]);
+                    sum_rt_[op] += r_t_[i] - ar_t_[i];
+                    sum_rc_[op] += r_c_[i] - ar_c_[i];
+                    sum_mp_[op] += r_mp_[i] - ar_mp_[i];
+                    ar_t_[i] = r_t_[i];
+                    ar_c_[i] = r_c_[i];
+                    ar_mp_[i] = r_mp_[i];
+
+                    double tkey = kInf;
+                    if (rem_t_[i] > kDoneEps && r_t_[i] > 0.0) {
+                        tkey = now_ + rem_t_[i] / r_t_[i];
+                    }
+                    if (rem_c_[i] > kDoneEps && r_c_[i] > 0.0) {
+                        tkey = std::min(tkey, now_ + rem_c_[i] / r_c_[i]);
+                    }
+                    double mkey =
+                        rem_m_[i] > kDoneEps && r_mp_[i] > 0.0
+                            ? s_time_ + rem_m_[i] / r_mp_[i]
+                            : kInf;
+                    if (tkey == kInf && mkey == kInf) {
+                        // No dimension can progress. If every
+                        // dimension already drained (a neighbour's
+                        // event landed in the unit's sub-epsilon
+                        // residue window), schedule an immediate
+                        // completion; a live-but-rateless unit would
+                        // never finish — fail loudly, exactly as the
+                        // oracle's starvation assert would.
+                        bool all_drained = rem_t_[i] <= kDoneEps &&
+                                           rem_c_[i] <= kDoneEps &&
+                                           rem_m_[i] <= kDoneEps;
+                        POD_ASSERT_MSG(all_drained,
+                                       "starved unit %d on SM %d at "
+                                       "t=%g",
+                                       uid, s, now_);
+                        tkey = now_;
+                    }
+                    comp_key_[i] = tkey;
+                    mem_key_[i] = mkey;
+                }
+                sm_ckey = std::min(sm_ckey, comp_key_[i]);
+                sm_mkey = std::min(sm_mkey, mem_key_[i]);
+            }
+            if (sm_ckey < kInf) {
+                comp_heap_.push(HeapEntry{sm_ckey, s, g});
+            }
+            if (sm_mkey < kInf) {
+                mem_heap_.push(HeapEntry{sm_mkey, s, g});
+            }
         }
-        if (first_fit < 0) return -1;
-        int chosen = first_fit;
-        if (second_fit >= 0 && rng_.Bernoulli(options_.placement_jitter)) {
-            chosen = second_fit;
+        dirty_sms_.clear();
+
+        if (++recompute_batches_ % kResumPeriod == 0) {
+            ResumAggregates();
         }
-        rr_pointer_ = (chosen + 1) % spec_.num_sms;
-        return chosen;
     }
 
     /**
-     * Load phase work into the unit's remaining counters; false if no
-     * more non-empty phases.
+     * Replace the incrementally-maintained sums with exact re-sums.
+     * The increments drift by one rounding step per update; at the
+     * default period the drift stays far below the tolerance bands,
+     * and this keeps it bounded on arbitrarily long runs.
      */
-    bool
-    LoadNextPhase(UnitState& u, UnitHot& h)
+    void
+    ResumAggregates()
     {
-        while (u.phase_next < u.phase_end) {
-            const Phase& p = phase_arena_[u.phase_next];
-            ++u.phase_next;
-            if (!p.Empty()) {
-                h.rem_tensor = p.tensor_flops;
-                h.rem_cuda = p.cuda_flops;
-                h.rem_mem = p.mem_bytes;
-                return true;
+        sum_rt_.fill(0.0);
+        sum_rc_.fill(0.0);
+        sum_mp_.fill(0.0);
+        global_want_ = 0.0;
+        for (const auto& sm : sms_) {
+            for (int uid : sm.active_units) {
+                const size_t i = static_cast<size_t>(uid);
+                const size_t op = static_cast<size_t>(unit_op_[i]);
+                sum_rt_[op] += ar_t_[i];
+                sum_rc_[op] += ar_c_[i];
+                sum_mp_[op] += ar_mp_[i];
             }
         }
-        return false;
-    }
-
-    /** Append a work list's phases to the arena; returns the range. */
-    std::pair<uint32_t, uint32_t>
-    StorePhases(const std::vector<Phase>& phases)
-    {
-        uint32_t begin = static_cast<uint32_t>(phase_arena_.size());
-        phase_arena_.insert(phase_arena_.end(), phases.begin(),
-                            phases.end());
-        return {begin, static_cast<uint32_t>(phase_arena_.size())};
-    }
-
-    /** Derive the static per-unit rate caps from warps and the spec. */
-    void
-    SetStaticCaps(const UnitState& u, UnitCaps& caps) const
-    {
-        caps.tensor_cap =
-            spec_.tensor_flops_per_sm *
-            std::min(1.0, static_cast<double>(u.warps) /
-                              spec_.warps_per_tensor_saturation);
-        caps.cuda_cap =
-            spec_.cuda_flops_per_sm *
-            std::min(1.0, static_cast<double>(u.warps) /
-                              spec_.warps_per_cuda_saturation);
-        caps.mem_base = u.mem_bw_cap > 0.0
-                            ? u.mem_bw_cap
-                            : static_cast<double>(u.warps) *
-                                  spec_.warp_bandwidth_cap;
-    }
-
-    /** Mark an SM's cached rates stale after a membership change. */
-    void
-    MarkDirty(int sm_id)
-    {
-        sm_mem_dirty_[static_cast<size_t>(sm_id)] = 1;
-        sm_compute_dirty_[static_cast<size_t>(sm_id)] = 1;
-    }
-
-    /** Place one CTA of the kernel; false if no SM has room. */
-    bool
-    DispatchOne(int kernel_id, double now)
-    {
-        KernelState& ks = kernels_[static_cast<size_t>(kernel_id)];
-        const KernelDesc& desc = *ks.desc;
-        int sm_id = PickSm(desc, kernel_id);
-        if (sm_id < 0) return false;
-
-        SmState& sm = sms_[static_cast<size_t>(sm_id)];
-        sm.free_threads -= desc.resources.threads;
-        sm.free_smem -= desc.resources.shared_mem_bytes;
-        sm.resident_ctas += 1;
-        sm.kernel_resident[static_cast<size_t>(kernel_id)] += 1;
-
-        if (!ks.started) {
-            ks.started = true;
-            ks.start_time = now;
+        for (double want : sm_mem_want_) {
+            global_want_ += want;
         }
-
-        CtaWork work = desc.assign(ks.dispatched, sm_id);
-        ks.dispatched += 1;
-
-        int cta_id = static_cast<int>(ctas_.size());
-        CtaState cta;
-        cta.kernel = kernel_id;
-        cta.sm = sm_id;
-        cta.threads = desc.resources.threads;
-        cta.smem = desc.resources.shared_mem_bytes;
-        cta.remaining_units = 0;
-        ctas_.push_back(cta);
-        ++total_ctas_;
-
-        for (auto& unit : work.units) {
-            UnitState us;
-            UnitHot hot;
-            UnitCaps caps;
-            us.cta = cta_id;
-            us.sm = sm_id;
-            us.op = unit.op;
-            us.warps = std::max(1, unit.warps);
-            us.mem_bw_cap = unit.mem_bw_cap;
-            std::tie(us.phase_next, us.phase_end) =
-                StorePhases(unit.phases);
-            SetStaticCaps(us, caps);
-            hot.sm = sm_id;
-            hot.op = us.op;
-            result_.per_op[static_cast<size_t>(us.op)].unit_count += 1;
-            if (!LoadNextPhase(us, hot)) {
-                // Unit with no work: completes immediately.
-                continue;
-            }
-            int unit_id = static_cast<int>(units_.size());
-            units_.push_back(us);
-            hot_.push_back(hot);
-            unit_caps_.push_back(caps);
-            phase_done_.push_back(0);
-            active_units_.push_back(unit_id);
-            sms_[static_cast<size_t>(sm_id)].active_units.push_back(unit_id);
-            sm_active_count_[static_cast<size_t>(sm_id)] += 1;
-            ctas_[static_cast<size_t>(cta_id)].remaining_units += 1;
-            op_active_[static_cast<size_t>(us.op)] += 1;
-        }
-        MarkDirty(sm_id);
-
-        if (ctas_[static_cast<size_t>(cta_id)].remaining_units == 0) {
-            // CTA carried no work at all; retire it on the spot.
-            RetireCta(cta_id, now);
-        }
-        return true;
     }
 
     /**
-     * Dispatch as many ready CTAs as fit, draining streams in
-     * submission order (earlier streams get priority, later streams
-     * backfill) -- the behaviour the paper observes for CUDA streams.
+     * Integrate all accounting over [now_, now_ + dt] at the frozen
+     * rates: per-op served work and busy time, utilization integrals,
+     * energy, and the memory virtual time S.
      */
     void
-    DispatchAll(double now)
+    AccumulateInterval(double dt)
     {
-        for (auto& stream : streams_) {
-            while (stream.head < stream.kernels.size()) {
-                int kid = stream.kernels[stream.head];
-                KernelState& ks = kernels_[static_cast<size_t>(kid)];
-                if (now + 1e-15 < ks.ready_time) break;
-                if (ks.dispatched >= ks.desc->cta_count) break;
-                if (!DispatchOne(kid, now)) break;
+        if (dt <= 0.0) return;
+        const double ds = global_mem_scale_ * dt;
+        double rate_tensor = 0.0;
+        double rate_cuda = 0.0;
+        double rate_mem_pre = 0.0;
+        for (int op = 0; op < kNumOpClasses; ++op) {
+            auto& stats = result_.per_op[static_cast<size_t>(op)];
+            stats.tensor_flops += sum_rt_[static_cast<size_t>(op)] * dt;
+            stats.cuda_flops += sum_rc_[static_cast<size_t>(op)] * dt;
+            stats.mem_bytes += sum_mp_[static_cast<size_t>(op)] * ds;
+            if (op_active_[static_cast<size_t>(op)] > 0) {
+                stats.busy_time += dt;
             }
+            rate_tensor += sum_rt_[static_cast<size_t>(op)];
+            rate_cuda += sum_rc_[static_cast<size_t>(op)];
+            rate_mem_pre += sum_mp_[static_cast<size_t>(op)];
         }
+        served_tensor_ += rate_tensor * dt;
+        served_cuda_ += rate_cuda * dt;
+        served_mem_ += rate_mem_pre * ds;
+
+        double rate_mem = rate_mem_pre * global_mem_scale_;
+        double tensor_util = rate_tensor / spec_.TotalTensorFlops();
+        double cuda_util = rate_cuda / spec_.TotalCudaFlops();
+        double mem_util = rate_mem / spec_.hbm_bandwidth;
+        double power = spec_.idle_power_w +
+                       spec_.tensor_power_w * tensor_util +
+                       spec_.cuda_power_w * cuda_util +
+                       spec_.hbm_power_w * mem_util;
+        energy_ += power * dt;
+
+        s_time_ += ds;
     }
 
-    /** Free a finished CTA's resources and advance kernel/stream state. */
-    void
-    RetireCta(int cta_id, double now)
-    {
-        CtaState& cta = ctas_[static_cast<size_t>(cta_id)];
-        SmState& sm = sms_[static_cast<size_t>(cta.sm)];
-        sm.free_threads += cta.threads;
-        sm.free_smem += cta.smem;
-        sm.resident_ctas -= 1;
-        sm.kernel_resident[static_cast<size_t>(cta.kernel)] -= 1;
-        if (options_.record_cta_times) {
-            result_.cta_finish_times.push_back(now);
-        }
-
-        KernelState& ks = kernels_[static_cast<size_t>(cta.kernel)];
-        ks.completed_ctas += 1;
-        if (ks.completed_ctas == ks.desc->cta_count) {
-            ks.finished = true;
-            ++finished_kernels_;
-            ks.end_time = now;
-            StreamState& stream = streams_[static_cast<size_t>(ks.stream)];
-            // The finished kernel must be the stream head.
-            POD_ASSERT(stream.head < stream.kernels.size());
-            ++stream.head;
-            ArmHead(stream, now);
-        }
-    }
-
-    /** Refresh resource rates, recomputing only what could change. */
-    void RefreshRates();
-
-    /** Earliest completion delta at current rates (may be inf). */
-    double NextEventDelta() const;
-
-    /** Earliest pending kernel ready time (absolute; may be inf). */
+    /** Next valid compute-drain time (pops stale entries). */
     double
-    NextReadyTime() const
+    PeekCompKey()
     {
-        double t = kInf;
-        for (const auto& stream : streams_) {
-            if (stream.head < stream.kernels.size()) {
-                const KernelState& ks = kernels_[static_cast<size_t>(
-                    stream.kernels[stream.head])];
-                if (!ks.finished && ks.dispatched < ks.desc->cta_count) {
-                    t = std::min(t, ks.ready_time);
-                }
-            }
+        while (!comp_heap_.empty() &&
+               comp_heap_.top().gen !=
+                   sm_gen_[static_cast<size_t>(comp_heap_.top().sm)]) {
+            comp_heap_.pop();
         }
-        return t;
+        return comp_heap_.empty() ? kInf : comp_heap_.top().key;
     }
 
-    /** Advance all active units by dt, accumulating accounting. */
-    void Advance(double dt);
+    /** Next valid memory-drain S key (pops stale entries). */
+    double
+    PeekMemKey()
+    {
+        while (!mem_heap_.empty() &&
+               mem_heap_.top().gen !=
+                   sm_gen_[static_cast<size_t>(mem_heap_.top().sm)]) {
+            mem_heap_.pop();
+        }
+        return mem_heap_.empty() ? kInf : mem_heap_.top().key;
+    }
 
-    /** Handle all units whose current phase just completed. */
-    void ProcessCompletions(double now);
+    /**
+     * A due unit (own key reached): materialize it and either advance
+     * it past the drained phase or leave the partial drain for the
+     * caller's SM recompute to re-rate and re-key.
+     */
+    void
+    HandleUnitDue(int uid)
+    {
+        const size_t i = static_cast<size_t>(uid);
+        comp_key_[i] = kInf;
+        mem_key_[i] = kInf;
+        Materialize(uid);
+        if (rem_t_[i] > kDoneEps || rem_c_[i] > kDoneEps ||
+            rem_m_[i] > kDoneEps) {
+            // One dimension drained, others remain: the SM's demand
+            // sets changed; the caller already queued the recompute
+            // that zeroes the drained rate and re-keys the rest.
+            return;
+        }
+        // Phase fully drained. Its rates leave the aggregates either
+        // way: a continuing unit is re-added by the recompute
+        // (possibly under a refilled op class).
+        RemoveFromAggregates(uid);
+        r_t_[i] = 0.0;
+        r_c_[i] = 0.0;
+        r_mp_[i] = 0.0;
+        if (TryContinueUnit(uid, now_, rem_t_[i], rem_c_[i], rem_m_[i],
+                            unit_op_[i])) {
+            return;
+        }
+        ReleaseUnitCta(uid, now_);
+    }
 
-    const GpuSpec& spec_;
-    const SimOptions& options_;
-    Rng rng_;
+    /**
+     * An SM's heap entry came due: scan its residents for units whose
+     * own key is due and handle each. The SM's rates are stale
+     * afterwards, so its entries are invalidated and re-pushed by the
+     * recompute queued below.
+     */
+    void
+    HandleSmEvent(int s)
+    {
+        ++sm_gen_[static_cast<size_t>(s)];  // stale the sibling entry
+        const auto& list = sms_[static_cast<size_t>(s)].active_units;
+        due_scratch_.clear();
+        for (int uid : list) {
+            const size_t i = static_cast<size_t>(uid);
+            if (comp_key_[i] <= now_ || mem_key_[i] <= s_time_) {
+                due_scratch_.push_back(uid);
+            }
+        }
+        // Two loops: handling a due unit can retire it, which
+        // swap-erases the SM list being scanned above.
+        for (int uid : due_scratch_) {
+            HandleUnitDue(uid);
+        }
+        OnSmTouched(s);
+    }
 
-    std::vector<SmState> sms_;
-    std::vector<KernelState> kernels_;
-    std::vector<StreamState> streams_;
-    std::vector<CtaState> ctas_;
-    std::vector<UnitState> units_;
-    std::vector<UnitHot> hot_;
-    std::vector<UnitCaps> unit_caps_;
-    /** 1 when the unit's current phase fully drained (see Advance). */
-    std::vector<uint8_t> phase_done_;
-    std::vector<int> active_units_;
-    /** Arena backing every unit's phase list (grows per dispatch). */
-    std::vector<Phase> phase_arena_;
-    int rr_pointer_ = 0;
-    int total_ctas_ = 0;
-    size_t finished_kernels_ = 0;
+    /** Pop and handle every SM entry due at (now, s_time_). */
+    void
+    ProcessDueEvents()
+    {
+        for (;;) {
+            if (!comp_heap_.empty()) {
+                HeapEntry top = comp_heap_.top();
+                if (top.gen != sm_gen_[static_cast<size_t>(top.sm)]) {
+                    comp_heap_.pop();
+                    continue;
+                }
+                if (top.key <= now_) {
+                    comp_heap_.pop();
+                    HandleSmEvent(top.sm);
+                    continue;
+                }
+            }
+            if (!mem_heap_.empty()) {
+                HeapEntry top = mem_heap_.top();
+                if (top.gen != sm_gen_[static_cast<size_t>(top.sm)]) {
+                    mem_heap_.pop();
+                    continue;
+                }
+                if (top.key <= s_time_) {
+                    mem_heap_.pop();
+                    HandleSmEvent(top.sm);
+                    continue;
+                }
+            }
+            break;
+        }
+    }
 
-    // ---- per-SM incremental rate-cache state (parallel to sms_,
-    // kept in flat arrays so per-event sweeps stay in-cache) ----
-    std::vector<int> sm_active_count_;
+    /**
+     * Defensive recovery: re-derive every SM's rates from scratch.
+     * Runs only if the incremental state loses a pending completion
+     * (an engine bug, not a workload property); counted so the
+     * telemetry surfaces it.
+     */
+    void
+    ForceGlobalRecompute()
+    {
+        ++result_.oracle_fallback_events;
+        for (size_t s = 0; s < sms_.size(); ++s) {
+            if (!sms_[s].active_units.empty()) {
+                OnSmTouched(static_cast<int>(s));
+            }
+        }
+        ResumAggregates();
+        RecomputeDirty();
+    }
+
+    // ---- SoA per-unit hot state (parallel arrays indexed by uid) ----
+    std::vector<double> rem_t_;
+    std::vector<double> rem_c_;
+    std::vector<double> rem_m_;
+    /** Frozen rates for the current interval (0 for drained dims). */
+    std::vector<double> r_t_;
+    std::vector<double> r_c_;
+    std::vector<double> r_mp_;
+    /** Rates currently folded into the per-op sums (the invariant
+     *  sum_* == sum of ar_* over active units backs all accounting). */
+    std::vector<double> ar_t_;
+    std::vector<double> ar_c_;
+    std::vector<double> ar_mp_;
+    /** Static caps (SoA mirror of UnitCaps). */
+    std::vector<double> cap_t_;
+    std::vector<double> cap_c_;
+    std::vector<double> cap_m_;
+    std::vector<int> unit_sm_;
+    std::vector<OpClass> unit_op_;
+    /** Materialization stamps: real time and S. */
+    std::vector<double> last_t_;
+    std::vector<double> last_s_;
+    /** Previous-interval rates (keep-keys test in RecomputeDirty). */
+    std::vector<double> old_t_;
+    std::vector<double> old_c_;
+    std::vector<double> old_mp_;
+    /** Pending per-unit keys: next compute drain (time) and next
+     *  memory drain (S); kInf when none. The heaps carry only the
+     *  per-SM minima of these. */
+    std::vector<double> comp_key_;
+    std::vector<double> mem_key_;
+
+    // ---- per-SM rate-cache state ----
     std::vector<double> sm_mem_want_;
-    std::vector<uint8_t> sm_mem_dirty_;
-    std::vector<uint8_t> sm_compute_dirty_;
-    std::vector<int> sm_coupled_;
+    std::vector<uint8_t> sm_dirty_;
+    /** Heap-entry validity generation per SM. */
+    std::vector<uint32_t> sm_gen_;
+    std::vector<int> dirty_sms_;
+    /** Scratch for HandleSmEvent (cleared, never reallocated). */
+    std::vector<int> due_scratch_;
+
+    /** Sum of per-SM memory wants (incremental; re-summed periodically). */
+    double global_want_ = 0.0;
 
     /** Global HBM scale factor for the current interval. */
     double global_mem_scale_ = 1.0;
 
-    /** Units whose phase drained in the last Advance. */
-    int completions_pending_ = 0;
+    /** Memory virtual time: S(t) = integral of global_mem_scale dt. */
+    double s_time_ = 0.0;
+
+    /** Current simulation time (mirrors Run's `now` for the hooks). */
+    double now_ = 0.0;
+
+    int num_active_ = 0;
+
+    EventHeap comp_heap_;
+    EventHeap mem_heap_;
+
+    // Per-op rate sums for O(op classes) interval accounting.
+    std::array<double, kNumOpClasses> sum_rt_ = {};
+    std::array<double, kNumOpClasses> sum_rc_ = {};
+    std::array<double, kNumOpClasses> sum_mp_ = {};
+
+    long recompute_batches_ = 0;
+    static constexpr long kResumPeriod = 4096;
 
     // Reused per-SM water-fill scratch (cleared, never reallocated).
     std::vector<std::pair<double, int>> tensor_caps_;
     std::vector<std::pair<double, int>> cuda_caps_;
-
-    /** Active unit count per op class (for busy-time accounting). */
-    std::array<int, kNumOpClasses> op_active_ = {};
-
-    // Served-work integrals for utilization accounting.
-    double served_tensor_ = 0.0;
-    double served_cuda_ = 0.0;
-    double served_mem_ = 0.0;
-    double energy_ = 0.0;
-
-    SimResult result_;
 };
 
-void
-Simulation::RefreshRates()
-{
-    const size_t num_sms = sms_.size();
-
-    // --- memory bandwidth first: per-warp cap, per-SM cap, global
-    // cap. Compute allocation below is demand-aware and needs the
-    // memory rates. Per-SM demands are cached; only SMs whose memory
-    // demand set changed recompute, and the global sum re-accumulates
-    // cached wants in SM order (bit-identical to the full rescan). ---
-    double global_want = 0.0;
-    for (size_t s = 0; s < num_sms; ++s) {
-        if (sm_active_count_[s] == 0) continue;
-        if (sm_mem_dirty_[s]) {
-            sm_mem_dirty_[s] = 0;
-            const SmState& sm = sms_[s];
-            double sm_want = 0.0;
-            for (int uid : sm.active_units) {
-                UnitHot& h = hot_[static_cast<size_t>(uid)];
-                if (h.rem_mem > kDoneEps) {
-                    h.r_mem_pre =
-                        unit_caps_[static_cast<size_t>(uid)].mem_base;
-                    sm_want += h.r_mem_pre;
-                } else {
-                    h.r_mem_pre = 0.0;
-                }
-            }
-            if (sm_want > spec_.sm_bandwidth_cap) {
-                double scale = spec_.sm_bandwidth_cap / sm_want;
-                for (int uid : sm.active_units) {
-                    hot_[static_cast<size_t>(uid)].r_mem_pre *= scale;
-                }
-                sm_want = spec_.sm_bandwidth_cap;
-            }
-            sm_mem_want_[s] = sm_want;
-        }
-        global_want += sm_mem_want_[s];
-    }
-    global_mem_scale_ = global_want > spec_.hbm_bandwidth
-                            ? spec_.hbm_bandwidth / global_want
-                            : 1.0;
-
-    // --- per-SM compute allocation (tensor + CUDA cores) ---
-    // Demand-aware: a unit that is still streaming memory in this
-    // phase only *wants* the compute rate that keeps pace with its
-    // memory (its math interleaves with memory stalls); purely
-    // compute-bound units want their full cap. Max-min water-fill
-    // over those wants lets prefill soak the tensor cores while
-    // co-located decode sips them -- the behaviour POD relies on.
-    // SMs with no coupled unit and no membership change keep the
-    // cached allocation.
-    for (size_t s = 0; s < num_sms; ++s) {
-        if (sm_active_count_[s] == 0) continue;
-        if (!sm_compute_dirty_[s] && sm_coupled_[s] == 0) continue;
-        sm_compute_dirty_[s] = 0;
-
-        // One pass builds both demand lists (tensor + CUDA).
-        tensor_caps_.clear();
-        cuda_caps_.clear();
-        double tensor_sum = 0.0;
-        double cuda_sum = 0.0;
-        for (int uid : sms_[s].active_units) {
-            const UnitCaps& c = unit_caps_[static_cast<size_t>(uid)];
-            UnitHot& h = hot_[static_cast<size_t>(uid)];
-            double r_mem = h.r_mem_pre * global_mem_scale_;
-            bool paced = h.rem_mem > kDoneEps && r_mem > 0.0;
-            if (h.rem_tensor > kDoneEps) {
-                double cap = c.tensor_cap;
-                if (paced) {
-                    cap = std::min(
-                        cap, 1.1 * h.rem_tensor * r_mem / h.rem_mem);
-                }
-                tensor_caps_.emplace_back(cap, uid);
-                tensor_sum += cap;
-            }
-            if (h.rem_cuda > kDoneEps) {
-                double cap = c.cuda_cap;
-                if (paced) {
-                    cap = std::min(cap,
-                                   1.1 * h.rem_cuda * r_mem / h.rem_mem);
-                }
-                cuda_caps_.emplace_back(cap, uid);
-                cuda_sum += cap;
-            }
-        }
-        // Under-subscribed (with margin): every demand receives its
-        // cap, exactly what the sequential water-fill would compute
-        // -- skip the sort. Near or above capacity, run the exact
-        // sorted water-fill.
-        if (!tensor_caps_.empty()) {
-            if (tensor_sum <=
-                spec_.tensor_flops_per_sm * kUndersubscribedMargin) {
-                for (const auto& [cap, uid] : tensor_caps_) {
-                    hot_[static_cast<size_t>(uid)].r_tensor = cap;
-                }
-            } else {
-                SortCaps(tensor_caps_);
-                WaterFill(tensor_caps_, spec_.tensor_flops_per_sm,
-                          [this](int uid, double rate) {
-                              hot_[static_cast<size_t>(uid)].r_tensor =
-                                  rate;
-                          });
-            }
-        }
-        if (!cuda_caps_.empty()) {
-            if (cuda_sum <=
-                spec_.cuda_flops_per_sm * kUndersubscribedMargin) {
-                for (const auto& [cap, uid] : cuda_caps_) {
-                    hot_[static_cast<size_t>(uid)].r_cuda = cap;
-                }
-            } else {
-                SortCaps(cuda_caps_);
-                WaterFill(cuda_caps_, spec_.cuda_flops_per_sm,
-                          [this](int uid, double rate) {
-                              hot_[static_cast<size_t>(uid)].r_cuda =
-                                  rate;
-                          });
-            }
-        }
-    }
-}
-
-double
-Simulation::NextEventDelta() const
-{
-    const double gscale = global_mem_scale_;
-    // Two independent partial minima hide the FP-min latency chain;
-    // min over doubles is exactly associative, so any grouping yields
-    // the bit-identical result. Each candidate rem/r can lower the
-    // minimum only if rem < dt*r; the filter margin over-covers the
-    // comparison's rounding, so a division runs only for candidates
-    // that may actually set the minimum -- the returned dt is the
-    // bit-identical min of exact quotients.
-    double dt_a = kInf;
-    double dt_b = kInf;
-    for (int uid : active_units_) {
-        const UnitHot& h = hot_[static_cast<size_t>(uid)];
-        if (h.rem_tensor > kDoneEps && h.r_tensor > 0.0 &&
-            h.rem_tensor < dt_a * h.r_tensor * kFilterMargin) {
-            dt_a = std::min(dt_a, h.rem_tensor / h.r_tensor);
-        }
-        if (h.rem_cuda > kDoneEps && h.r_cuda > 0.0 &&
-            h.rem_cuda < dt_b * h.r_cuda * kFilterMargin) {
-            dt_b = std::min(dt_b, h.rem_cuda / h.r_cuda);
-        }
-        if (h.rem_mem > kDoneEps) {
-            double r_mem = h.r_mem_pre * gscale;
-            if (r_mem > 0.0 &&
-                h.rem_mem < dt_a * r_mem * kFilterMargin) {
-                dt_a = std::min(dt_a, h.rem_mem / r_mem);
-            }
-        }
-    }
-    return std::min(dt_a, dt_b);
-}
-
-void
-Simulation::Advance(double dt)
-{
-    std::fill(sm_coupled_.begin(), sm_coupled_.end(), 0);
-    const double gscale = global_mem_scale_;
-
-    double rate_tensor = 0.0;
-    double rate_cuda = 0.0;
-    double rate_mem = 0.0;
-    int pending = 0;
-    // Local per-op accumulators keep the (order-pinned) accounting
-    // adds in registers instead of store-forwarding through result_.
-    double acc_tensor[kNumOpClasses];
-    double acc_cuda[kNumOpClasses];
-    double acc_mem[kNumOpClasses];
-    for (int op = 0; op < kNumOpClasses; ++op) {
-        const auto& stats = result_.per_op[static_cast<size_t>(op)];
-        acc_tensor[op] = stats.tensor_flops;
-        acc_cuda[op] = stats.cuda_flops;
-        acc_mem[op] = stats.mem_bytes;
-    }
-    for (int uid : active_units_) {
-        UnitHot& h = hot_[static_cast<size_t>(uid)];
-        const size_t opi = static_cast<size_t>(h.op);
-        const bool had_tensor = h.rem_tensor > kDoneEps;
-        const bool had_cuda = h.rem_cuda > kDoneEps;
-        const bool had_mem = h.rem_mem > kDoneEps;
-        if (had_tensor) {
-            double amount = h.r_tensor * dt;
-            h.rem_tensor -= amount;
-            acc_tensor[opi] += amount;
-            rate_tensor += h.r_tensor;
-        }
-        if (had_cuda) {
-            double amount = h.r_cuda * dt;
-            h.rem_cuda -= amount;
-            acc_cuda[opi] += amount;
-            rate_cuda += h.r_cuda;
-        }
-        if (had_mem) {
-            double r_mem = h.r_mem_pre * gscale;
-            double amount = r_mem * dt;
-            h.rem_mem -= amount;
-            acc_mem[opi] += amount;
-            rate_mem += r_mem;
-        }
-
-        // Post-advance bookkeeping for the incremental rate cache:
-        // a drained dimension changes the SM's demand sets, and a
-        // still-coupled unit keeps its SM's water-fill live.
-        const bool has_tensor = h.rem_tensor > kDoneEps;
-        const bool has_cuda = h.rem_cuda > kDoneEps;
-        const bool has_mem = h.rem_mem > kDoneEps;
-        const size_t s = static_cast<size_t>(h.sm);
-        sm_mem_dirty_[s] |=
-            static_cast<uint8_t>(had_mem && !has_mem);
-        sm_compute_dirty_[s] |=
-            static_cast<uint8_t>(had_tensor != has_tensor ||
-                                 had_cuda != has_cuda ||
-                                 had_mem != has_mem);
-        sm_coupled_[s] +=
-            static_cast<int>(has_mem && (has_tensor || has_cuda));
-        const int done =
-            static_cast<int>(!has_tensor && !has_cuda && !has_mem);
-        phase_done_[static_cast<size_t>(uid)] =
-            static_cast<uint8_t>(done);
-        pending += done;
-    }
-    completions_pending_ = pending;
-    for (int op = 0; op < kNumOpClasses; ++op) {
-        auto& stats = result_.per_op[static_cast<size_t>(op)];
-        stats.tensor_flops = acc_tensor[op];
-        stats.cuda_flops = acc_cuda[op];
-        stats.mem_bytes = acc_mem[op];
-    }
-    served_tensor_ += rate_tensor * dt;
-    served_cuda_ += rate_cuda * dt;
-    served_mem_ += rate_mem * dt;
-
-    for (int op = 0; op < kNumOpClasses; ++op) {
-        if (op_active_[static_cast<size_t>(op)] > 0) {
-            result_.per_op[static_cast<size_t>(op)].busy_time += dt;
-        }
-    }
-
-    double tensor_util = rate_tensor / spec_.TotalTensorFlops();
-    double cuda_util = rate_cuda / spec_.TotalCudaFlops();
-    double mem_util = rate_mem / spec_.hbm_bandwidth;
-    double power = spec_.idle_power_w + spec_.tensor_power_w * tensor_util +
-                   spec_.cuda_power_w * cuda_util +
-                   spec_.hbm_power_w * mem_util;
-    energy_ += power * dt;
-}
-
-void
-Simulation::ProcessCompletions(double now)
-{
-    if (completions_pending_ == 0) return;
-    for (size_t i = 0; i < active_units_.size();) {
-        int uid = active_units_[i];
-        if (!phase_done_[static_cast<size_t>(uid)]) {
-            ++i;
-            continue;
-        }
-        UnitState& u = units_[static_cast<size_t>(uid)];
-        UnitHot& h = hot_[static_cast<size_t>(uid)];
-        if (LoadNextPhase(u, h)) {
-            // New phase, new demands: the SM's cached rates are stale.
-            // The stale done-flag is rewritten by the next Advance
-            // before ProcessCompletions reads it again.
-            MarkDirty(u.sm);
-            ++i;
-            continue;
-        }
-        // Unit finished entirely. Persistent kernels may refill the
-        // lane with the next queued work item (paper S4.4).
-        const KernelDesc* desc =
-            kernels_[static_cast<size_t>(
-                         ctas_[static_cast<size_t>(u.cta)].kernel)]
-                .desc;
-        if (desc->refill) {
-            WorkUnit next;
-            if (desc->refill(u.sm, u.op, &next) &&
-                !next.phases.empty()) {
-                auto& old_op = result_.per_op[static_cast<size_t>(u.op)];
-                old_op.finish_time = std::max(old_op.finish_time, now);
-                op_active_[static_cast<size_t>(u.op)] -= 1;
-                u.op = next.op;
-                u.warps = std::max(1, next.warps);
-                u.mem_bw_cap = next.mem_bw_cap;
-                h.op = next.op;
-                std::tie(u.phase_next, u.phase_end) =
-                    StorePhases(next.phases);
-                SetStaticCaps(u, unit_caps_[static_cast<size_t>(uid)]);
-                result_.per_op[static_cast<size_t>(u.op)].unit_count += 1;
-                op_active_[static_cast<size_t>(u.op)] += 1;
-                MarkDirty(u.sm);
-                if (LoadNextPhase(u, h)) {
-                    ++i;
-                    continue;
-                }
-                // Refilled with an empty unit: fall through to the
-                // retire path (it handles the new op's accounting).
-            }
-        }
-        u.done = true;
-        auto& op = result_.per_op[static_cast<size_t>(u.op)];
-        op.finish_time = std::max(op.finish_time, now);
-        op_active_[static_cast<size_t>(u.op)] -= 1;
-
-        // Remove from the SM's active list.
-        auto& sm_units = sms_[static_cast<size_t>(u.sm)].active_units;
-        auto it = std::find(sm_units.begin(), sm_units.end(), uid);
-        POD_ASSERT(it != sm_units.end());
-        *it = sm_units.back();
-        sm_units.pop_back();
-        sm_active_count_[static_cast<size_t>(u.sm)] -= 1;
-        MarkDirty(u.sm);
-
-        // Remove from the global active list (swap-erase).
-        active_units_[i] = active_units_.back();
-        active_units_.pop_back();
-
-        CtaState& cta = ctas_[static_cast<size_t>(u.cta)];
-        cta.remaining_units -= 1;
-        if (cta.remaining_units == 0) {
-            RetireCta(u.cta, now);
-        }
-    }
-}
-
 SimResult
-Simulation::Run()
+AnalyticSimulation::Run()
 {
     double now = 0.0;
     long events = 0;
 
     DispatchAll(now);
+    RecomputeDirty();
     while (finished_kernels_ < kernels_.size()) {
         POD_ASSERT_MSG(++events < kMaxEvents,
                        "simulation exceeded %ld events", kMaxEvents);
 
-        if (active_units_.empty()) {
+        if (num_active_ == 0) {
             // Nothing resident: jump to the next kernel-ready time.
+            // Zero the rate sums outright — they are all-retired
+            // remainders of incremental updates, i.e. pure drift.
+            sum_rt_.fill(0.0);
+            sum_rc_.fill(0.0);
+            sum_mp_.fill(0.0);
+            global_want_ = 0.0;
             double ready = NextReadyTime();
             POD_ASSERT_MSG(ready < kInf,
                            "deadlock: no active units at t=%g", now);
             now = std::max(now, ready);
+            now_ = now;
             DispatchAll(now);
+            RecomputeDirty();
             continue;
         }
 
-        RefreshRates();
-        double dt = NextEventDelta();
-        POD_ASSERT_MSG(dt < kInf,
-                       "starvation: active units with zero rates at t=%g",
-                       now);
+        double t_comp = PeekCompKey();
+        double s_next = PeekMemKey();
+        double t_mem = kInf;
+        if (s_next < kInf) {
+            t_mem = s_next <= s_time_
+                        ? now
+                        : now + (s_next - s_time_) / global_mem_scale_;
+        }
+        double t_drain = std::min(t_comp, t_mem);
+        if (t_drain == kInf) {
+            // Active units but no pending completion: recover with a
+            // full rescan (counted), then fail loudly if still stuck.
+            ForceGlobalRecompute();
+            t_comp = PeekCompKey();
+            s_next = PeekMemKey();
+            POD_ASSERT_MSG(std::min(t_comp, s_next) < kInf,
+                           "starvation: active units with zero rates "
+                           "at t=%g",
+                           now);
+            continue;
+        }
+
         // Stop early at the next kernel-ready boundary, but only if it
         // is strictly in the future; a kernel that is already ready
         // and merely waiting for SM resources must not stall time.
+        double t = t_drain;
         double ready = NextReadyTime();
-        if (ready > now + 1e-15 && now + dt > ready) {
-            dt = ready - now;
+        if (ready > now + 1e-15 && t > ready) {
+            t = ready;
         }
-        Advance(dt);
-        now += dt;
-        ProcessCompletions(now);
+        if (t < now) t = now;
+
+        AccumulateInterval(t - now);
+        now = t;
+        now_ = now;
+        if (t == t_mem && s_next > s_time_) {
+            // Land exactly on the memory key: the back-conversion
+            // through global_mem_scale_ rounds, and snapping S to the
+            // key keeps the due-entry test exact.
+            s_time_ = s_next;
+        }
+        ++result_.analytic_fastpath_events;
+        ProcessDueEvents();
         DispatchAll(now);
+        RecomputeDirty();
     }
 
-    result_.total_time = now;
-    result_.total_ctas = total_ctas_;
-    result_.kernels.reserve(kernels_.size());
-    for (const auto& ks : kernels_) {
-        KernelTiming kt;
-        kt.name = ks.desc->name;
-        kt.start_time = ks.start_time;
-        kt.end_time = ks.end_time;
-        result_.kernels.push_back(kt);
-    }
-    if (now > 0.0) {
-        result_.tensor_util =
-            served_tensor_ / (now * spec_.TotalTensorFlops());
-        result_.cuda_util = served_cuda_ / (now * spec_.TotalCudaFlops());
-        result_.mem_util = served_mem_ / (now * spec_.hbm_bandwidth);
-    }
-    result_.energy_joules = energy_;
+    FinalizeResult(now);
     return result_;
 }
 
 }  // namespace
+
+SimResult
+RunAnalyticSimulation(const GpuSpec& spec, const SimOptions& options,
+                      const std::vector<KernelLaunch>& launches)
+{
+    AnalyticSimulation sim(spec, options, launches);
+    return sim.Run();
+}
+
+}  // namespace detail
 
 FluidEngine::FluidEngine(GpuSpec spec, SimOptions options)
     : spec_(std::move(spec)), options_(options)
@@ -957,8 +773,10 @@ SimResult
 FluidEngine::Run(const std::vector<KernelLaunch>& launches)
 {
     POD_CHECK_ARG(!launches.empty(), "need at least one kernel launch");
-    Simulation sim(spec_, options_, launches);
-    return sim.Run();
+    if (options_.core == EngineCore::kExactOracle) {
+        return detail::RunOracleSimulation(spec_, options_, launches);
+    }
+    return detail::RunAnalyticSimulation(spec_, options_, launches);
 }
 
 SimResult

@@ -31,6 +31,29 @@
 
 namespace pod::gpusim {
 
+/**
+ * Which event core executes the simulation (docs/DESIGN.md S3).
+ *
+ * Both cores share every discrete decision (placement, dispatch order,
+ * phase/refill transitions); they differ only in how unit progress is
+ * advanced between events:
+ *
+ *  - kAnalytic (default): closed-form integration. Rates are frozen
+ *    per interval and completion times come from two event heaps, so
+ *    an event costs O(touched SM) instead of O(active units). Pacing
+ *    caps refresh at every transition on the unit's SM rather than at
+ *    every global event -- a deliberate, tolerance-banded model
+ *    relaxation (docs/DESIGN.md S3.2).
+ *  - kExactOracle: the stepwise PR-3 engine, bit-identical to the
+ *    seed simulator. Every exact golden in the regression suites pins
+ *    this core, and the analytic core is cross-checked against it.
+ */
+enum class EngineCore
+{
+    kAnalytic = 0,
+    kExactOracle = 1,
+};
+
 /** Engine configuration. */
 struct SimOptions
 {
@@ -51,6 +74,9 @@ struct SimOptions
      * kernel begins dispatching after all prior work in its stream.
      */
     double kernel_launch_overhead = 3e-6;
+
+    /** Event core to run (see EngineCore). */
+    EngineCore core = EngineCore::kAnalytic;
 };
 
 /**

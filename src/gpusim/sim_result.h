@@ -83,6 +83,21 @@ struct SimResult
     /** Total CTAs dispatched. */
     int total_ctas = 0;
 
+    /**
+     * Events the analytic core advanced with closed-form integration
+     * (one per heap-driven event-loop iteration). Zero under the
+     * ExactOracle core.
+     */
+    long analytic_fastpath_events = 0;
+
+    /**
+     * Events that fell back to stepwise/full-rescan handling: every
+     * event under the ExactOracle core, plus the analytic core's
+     * defensive full-rescan recoveries (expected 0 in normal runs --
+     * nonzero values flag an analytic-core bug worth reporting).
+     */
+    long oracle_fallback_events = 0;
+
     /** Access accounting for one op class. */
     const OpStats&
     Op(OpClass op) const

@@ -41,6 +41,62 @@ WaterFill(const std::vector<std::pair<double, int>>& caps, double capacity,
     }
 }
 
+/**
+ * Sort (cap, unit id) pairs ascending. Keys are unique (unit ids
+ * differ), so any comparison sort yields the identical sequence;
+ * insertion sort beats std::sort at the handful-of-residents sizes
+ * the per-SM water-fill sees every event.
+ */
+inline void
+SortCaps(std::vector<std::pair<double, int>>& caps)
+{
+    if (caps.size() > 24) {
+        std::sort(caps.begin(), caps.end());
+        return;
+    }
+    for (std::size_t i = 1; i < caps.size(); ++i) {
+        std::pair<double, int> key = caps[i];
+        std::size_t j = i;
+        for (; j > 0 && key < caps[j - 1]; --j) {
+            caps[j] = caps[j - 1];
+        }
+        caps[j] = key;
+    }
+}
+
+/**
+ * Max-min allocation with the under-subscribed shortcut both engine
+ * cores use: when the summed demand clears the capacity with margin,
+ * every demand receives its cap — exactly what the sequential
+ * water-fill would compute — and the sort is skipped. Near or above
+ * capacity the exact sorted water-fill runs, so shares perturbed by
+ * summation rounding can never flip an allocation.
+ *
+ * @param caps (cap, unit id) pairs in any order; sorted in place when
+ *        the water-fill runs.
+ * @param demand_sum sum of all caps (accumulated by the caller while
+ *        building the list).
+ * @param capacity total capacity to distribute.
+ * @param undersubscribed_margin relative margin (< 1) under which the
+ *        shortcut is trusted.
+ * @param set_rate callback invoked as set_rate(unit_id, allocation).
+ */
+template <typename SetRate>
+void
+AllocateMaxMin(std::vector<std::pair<double, int>>& caps, double demand_sum,
+               double capacity, double undersubscribed_margin,
+               SetRate set_rate)
+{
+    if (demand_sum <= capacity * undersubscribed_margin) {
+        for (const auto& [cap, uid] : caps) {
+            set_rate(uid, cap);
+        }
+        return;
+    }
+    SortCaps(caps);
+    WaterFill(caps, capacity, set_rate);
+}
+
 }  // namespace pod::gpusim
 
 #endif  // POD_GPUSIM_WATER_FILL_H

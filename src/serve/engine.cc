@@ -106,6 +106,8 @@ ServingEngine::CachedAttnLayerTime(int chunk_len, int kv_len,
     }
     core::AttnRunResult result = core::RunAttention(
         config_.backend, batch, config_.gpu, config_.attn_options);
+    sim_fastpath_events_ += result.analytic_fastpath_events;
+    sim_fallback_events_ += result.oracle_fallback_events;
     attn_cache_[key] = result.total_time;
     return result.total_time;
 }
@@ -179,6 +181,7 @@ ServingEngine::Reset()
     total_batch_tokens_ = 0.0;
     finished_ = 0;
     active_begin_ = 0;
+    admitted_end_ = 0;
     unadmitted_.clear();
     unadmitted_head_ = 0;
     arrived_mark_ = 0;
@@ -365,7 +368,8 @@ ServingEngine::Step()
     result.start = now_;
 
     SchedulingDecision decision =
-        scheduler_->Next(now_, states_, *kv_, active_begin_);
+        scheduler_->Next(now_, states_, *kv_, active_begin_,
+                         admitted_end_);
     ApplyAdmissions(decision);
     double swap_time = ApplyLifecycleTransitions(decision, result);
     const ScheduledBatch& batch = decision.batch;
@@ -512,6 +516,8 @@ ServingEngine::Snapshot() const
     snap.attn_cache_entries = static_cast<long>(attn_cache_.size());
     snap.attn_cache_hits = attn_cache_hits_;
     snap.attn_cache_misses = attn_cache_misses_;
+    snap.sim_fastpath_events = sim_fastpath_events_;
+    snap.sim_fallback_events = sim_fallback_events_;
     return snap;
 }
 
@@ -525,6 +531,8 @@ ServingEngine::Report() const
     report.preemptions_recompute = preemptions_recompute_;
     report.preemptions_swap = preemptions_swap_;
     report.swap_time_total = swap_time_total_;
+    report.sim_fastpath_events = sim_fastpath_events_;
+    report.sim_fallback_events = sim_fallback_events_;
     return report;
 }
 

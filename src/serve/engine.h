@@ -178,6 +178,12 @@ struct ReplicaSnapshot
 
     /** Attention memo-cache misses (kernel simulations performed). */
     long attn_cache_misses = 0;
+
+    /** Analytic sim-core events across this replica's simulations. */
+    long sim_fastpath_events = 0;
+
+    /** Stepwise-oracle sim events (fallbacks or ExactOracle runs). */
+    long sim_fallback_events = 0;
 };
 
 /** Outcome of one ServingEngine::Step() call. */
@@ -302,6 +308,12 @@ class ServingEngine
     /** Attention memo-cache misses (kernel simulations performed). */
     long AttnCacheMisses() const { return attn_cache_misses_; }
 
+    /** Analytic sim-core events across this engine's simulations. */
+    long SimFastpathEvents() const { return sim_fastpath_events_; }
+
+    /** Stepwise-oracle sim events (fallbacks or ExactOracle runs). */
+    long SimFallbackEvents() const { return sim_fallback_events_; }
+
     const ServingConfig& Config() const { return config_; }
 
     /**
@@ -362,6 +374,8 @@ class ServingEngine
     std::unordered_map<uint64_t, double> attn_cache_;
     long attn_cache_hits_ = 0;
     long attn_cache_misses_ = 0;
+    long sim_fastpath_events_ = 0;
+    long sim_fallback_events_ = 0;
 
     // ---- stepping state (valid between Reset() and Done()) ----
     std::vector<RequestState> states_;
@@ -380,6 +394,10 @@ class ServingEngine
     // ---- incremental queue/KV accounting (PR 3) ----
     /** states_[i] for i < active_begin_ are all finished. */
     size_t active_begin_ = 0;
+
+    /** One past the highest index ever admitted (FCFS watermark);
+     *  bounds the scheduler's batch-building scans. */
+    size_t admitted_end_ = 0;
 
     /**
      * Indices of never-admitted requests in submission (= arrival)

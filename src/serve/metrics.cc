@@ -90,6 +90,10 @@ FillRegistry(const MetricsReport& report,
                       report.frac_stalled_500ms);
     registry.SetGauge(prefix + "swap.total_seconds",
                       report.swap_time_total);
+    registry.AddCounter(prefix + "sim_core.fastpath_events",
+                        report.sim_fastpath_events);
+    registry.AddCounter(prefix + "sim_core.fallback_events",
+                        report.sim_fallback_events);
     FillSampleStats(report.ttft, registry, prefix + "ttft");
     FillSampleStats(report.tbt, registry, prefix + "tbt");
     FillSampleStats(report.latency, registry, prefix + "latency");

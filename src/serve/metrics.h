@@ -67,6 +67,16 @@ struct MetricsReport
 
     /** Total swap-in + swap-out transfer time charged (seconds). */
     double swap_time_total = 0.0;
+
+    // ---- sim-core telemetry (docs/DESIGN.md S3.2) ----
+    // Summed over the attention simulations this engine ran (memo-
+    // cache misses only; hits cost no sim events).
+
+    /** Events handled by the closed-form analytic sim core. */
+    long sim_fastpath_events = 0;
+
+    /** Stepwise-oracle events (fallbacks or ExactOracle runs). */
+    long sim_fallback_events = 0;
 };
 
 /** Build a report from final request states. */

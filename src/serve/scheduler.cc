@@ -28,7 +28,7 @@ namespace {
 void
 PlanAdmissions(double now, std::vector<RequestState>& requests,
                KvAllocator& kv, size_t active_begin,
-               SchedulingDecision& decision)
+               size_t& admitted_end, SchedulingDecision& decision)
 {
     for (size_t i = active_begin; i < requests.size(); ++i) {
         RequestState& state = requests[i];
@@ -48,7 +48,11 @@ PlanAdmissions(double now, std::vector<RequestState>& requests,
         if (!kv.TryAdmit(state)) break;
         state.phase = Phase::kRunning;
         decision.admissions.push_back(static_cast<int>(i));
+        admitted_end = std::max(admitted_end, i + 1);
     }
+    // FCFS invariant: everything at or past the watermark was never
+    // admitted, so batch-building scans stop there.
+    admitted_end = std::min(admitted_end, requests.size());
 }
 
 /** Evict one running request and record the transition. */
@@ -80,11 +84,11 @@ Preempt(std::vector<RequestState>& requests, int req_index,
  */
 void
 ScheduleDecodes(std::vector<RequestState>& requests, KvAllocator& kv,
-                size_t active_begin, int max_num_seqs,
+                size_t active_begin, size_t admitted_end, int max_num_seqs,
                 SchedulingDecision& decision)
 {
     std::vector<int> running;
-    for (size_t i = active_begin; i < requests.size(); ++i) {
+    for (size_t i = active_begin; i < admitted_end; ++i) {
         if (requests[i].Admitted() && requests[i].DecodePending()) {
             running.push_back(static_cast<int>(i));
         }
@@ -123,10 +127,12 @@ VllmScheduler::VllmScheduler(int max_batched_tokens, int max_num_seqs)
 
 SchedulingDecision
 VllmScheduler::Next(double now, std::vector<RequestState>& requests,
-                    KvAllocator& kv, size_t active_begin)
+                    KvAllocator& kv, size_t active_begin,
+                    size_t& admitted_end)
 {
     SchedulingDecision decision;
-    PlanAdmissions(now, requests, kv, active_begin, decision);
+    PlanAdmissions(now, requests, kv, active_begin, admitted_end,
+                   decision);
     ScheduledBatch& batch = decision.batch;
 
     // Prefill-prioritizing: if any admitted prompt is unprocessed,
@@ -134,7 +140,7 @@ VllmScheduler::Next(double now, std::vector<RequestState>& requests,
     // Prompt blocks were reserved at admission, so prefill-only
     // iterations never grow the pool and never preempt.
     int tokens = 0;
-    for (size_t i = active_begin; i < requests.size(); ++i) {
+    for (size_t i = active_begin; i < admitted_end; ++i) {
         RequestState& state = requests[i];
         if (!state.Admitted() || state.PrefillDone()) continue;
         int remaining = state.PrefillTarget() - state.prefilled;
@@ -151,7 +157,8 @@ VllmScheduler::Next(double now, std::vector<RequestState>& requests,
         return decision;  // decodes pause: the generation stall (Fig. 2a)
     }
 
-    ScheduleDecodes(requests, kv, active_begin, max_num_seqs_, decision);
+    ScheduleDecodes(requests, kv, active_begin, admitted_end,
+                    max_num_seqs_, decision);
     return decision;
 }
 
@@ -164,21 +171,24 @@ SarathiScheduler::SarathiScheduler(int token_budget, int max_num_seqs)
 
 SchedulingDecision
 SarathiScheduler::Next(double now, std::vector<RequestState>& requests,
-                       KvAllocator& kv, size_t active_begin)
+                       KvAllocator& kv, size_t active_begin,
+                       size_t& admitted_end)
 {
     SchedulingDecision decision;
-    PlanAdmissions(now, requests, kv, active_begin, decision);
+    PlanAdmissions(now, requests, kv, active_begin, admitted_end,
+                   decision);
     ScheduledBatch& batch = decision.batch;
 
     // All running decodes join every iteration: stall-free batching.
-    ScheduleDecodes(requests, kv, active_begin, max_num_seqs_, decision);
+    ScheduleDecodes(requests, kv, active_begin, admitted_end,
+                    max_num_seqs_, decision);
 
     // Prefill chunks fill the remaining token budget (paper S2.1).
     // Chunks draw on blocks reserved at admission, so they never
     // allocate — a decode-evicted victim cannot be re-hit here.
     int budget =
         std::max(0, token_budget_ - static_cast<int>(batch.decodes.size()));
-    for (size_t i = active_begin; i < requests.size() && budget > 0; ++i) {
+    for (size_t i = active_begin; i < admitted_end && budget > 0; ++i) {
         RequestState& state = requests[i];
         if (!state.Admitted() || state.PrefillDone()) continue;
         int remaining = state.PrefillTarget() - state.prefilled;

@@ -124,11 +124,32 @@ class Scheduler
      *        0 to scan everything (no default: default arguments on
      *        virtuals bind by static type and would silently pin
      *        overrides to the base value).
+     * @param admitted_end in/out watermark one past the highest index
+     *        ever admitted. Admission is strictly FCFS, so every
+     *        admitted (running or preempted) request sits below it
+     *        and batch-building scans stop there instead of walking
+     *        the full submitted backlog — the difference between
+     *        O(active) and O(trace) per iteration when a long trace
+     *        is queued up front. The scheduler raises it as it
+     *        admits. The caller owns the value across iterations and
+     *        must reset it to 0 with its request vector.
      */
     virtual SchedulingDecision Next(double now,
                                     std::vector<RequestState>& requests,
-                                    KvAllocator& kv,
-                                    size_t active_begin) = 0;
+                                    KvAllocator& kv, size_t active_begin,
+                                    size_t& admitted_end) = 0;
+
+    /**
+     * Single-shot convenience (tests, exploratory callers): scans
+     * with a throwaway watermark spanning the whole vector.
+     */
+    SchedulingDecision
+    Next(double now, std::vector<RequestState>& requests, KvAllocator& kv,
+         size_t active_begin)
+    {
+        size_t admitted_end = requests.size();
+        return Next(now, requests, kv, active_begin, admitted_end);
+    }
 
     /** Policy name for reports. */
     virtual std::string Name() const = 0;
@@ -145,10 +166,11 @@ class VllmScheduler : public Scheduler
     explicit VllmScheduler(int max_batched_tokens = 16384,
                            int max_num_seqs = 256);
 
+    using Scheduler::Next;
     SchedulingDecision Next(double now,
                             std::vector<RequestState>& requests,
-                            KvAllocator& kv,
-                            size_t active_begin) override;
+                            KvAllocator& kv, size_t active_begin,
+                            size_t& admitted_end) override;
 
     std::string Name() const override { return "vLLM"; }
 
@@ -170,10 +192,11 @@ class SarathiScheduler : public Scheduler
     explicit SarathiScheduler(int token_budget = 512,
                               int max_num_seqs = 256);
 
+    using Scheduler::Next;
     SchedulingDecision Next(double now,
                             std::vector<RequestState>& requests,
-                            KvAllocator& kv,
-                            size_t active_begin) override;
+                            KvAllocator& kv, size_t active_begin,
+                            size_t& admitted_end) override;
 
     std::string Name() const override { return "Sarathi"; }
 

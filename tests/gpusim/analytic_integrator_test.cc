@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Unit tests for the closed-form analytic integrator, at tolerances
+ * far tighter than the randomized cross-check suite
+ * (analytic_oracle_test.cc) can use.
+ *
+ * The trick: on a single-SM device every event touches the only SM,
+ * so the analytic core re-derives rates at exactly the oracle's event
+ * density and the lazy-materialization relaxation vanishes. Whenever
+ * the pacing cap is inert (compute-bound or memory-only work), both
+ * cores then compute identical rate sequences and must agree to
+ * floating-point noise (1e-9 relative here) on every continuous
+ * field — phase transitions, refill boundaries and water-fill
+ * contention included. Any looseness at this tolerance is an
+ * integrator bug, not model drift.
+ *
+ * Where pacing binds, the cores intentionally differ in trajectory
+ * (average-rate vs instantaneous-cap freeze, docs/DESIGN.md S3.2) but
+ * both must finish a memory-bound unit exactly at its memory horizon,
+ * which is hand-computable: that pins the closed-form completion keys
+ * to the physics, not just to the other core.
+ *
+ * AllocateMaxMin's undersubscribed shortcut is covered directly at
+ * the bottom: the shortcut must be bit-identical to the sorted
+ * water-fill it skips, and the margin boundary must fall back to the
+ * exact path.
+ */
+#include "gpusim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/water_fill.h"
+
+namespace pod::gpusim {
+namespace {
+
+constexpr double kTightRel = 1e-9;
+constexpr double kTightAbs = 1e-12;
+
+double
+Tight(double oracle_value)
+{
+    double mag = oracle_value < 0.0 ? -oracle_value : oracle_value;
+    return kTightAbs + mag * kTightRel;
+}
+
+/** A100 shrunk to one SM: every event lands on SM 0. */
+GpuSpec
+OneSmSpec()
+{
+    GpuSpec spec = GpuSpec::A100Sxm80GB();
+    spec.num_sms = 1;
+    return spec;
+}
+
+SimResult
+RunOn(const GpuSpec& spec, EngineCore core,
+      const std::vector<KernelLaunch>& launches)
+{
+    SimOptions opt;
+    opt.core = core;
+    opt.record_cta_times = true;
+    opt.kernel_launch_overhead = 0.0;
+    FluidEngine engine(spec, opt);
+    return engine.Run(launches);
+}
+
+/** Compare every continuous field at floating-point tolerance. */
+void
+ExpectTightMatch(const SimResult& a, const SimResult& o)
+{
+    EXPECT_EQ(a.total_ctas, o.total_ctas);
+    EXPECT_GT(a.analytic_fastpath_events, 0);
+    EXPECT_EQ(a.oracle_fallback_events, 0);
+    EXPECT_NEAR(a.total_time, o.total_time, Tight(o.total_time));
+    ASSERT_EQ(a.kernels.size(), o.kernels.size());
+    for (size_t k = 0; k < o.kernels.size(); ++k) {
+        EXPECT_NEAR(a.kernels[k].end_time, o.kernels[k].end_time,
+                    Tight(o.kernels[k].end_time))
+            << "kernel " << k;
+    }
+    EXPECT_NEAR(a.tensor_util, o.tensor_util, Tight(o.tensor_util));
+    EXPECT_NEAR(a.cuda_util, o.cuda_util, Tight(o.cuda_util));
+    EXPECT_NEAR(a.mem_util, o.mem_util, Tight(o.mem_util));
+    EXPECT_NEAR(a.energy_joules, o.energy_joules,
+                Tight(o.energy_joules));
+    for (int op = 0; op < kNumOpClasses; ++op) {
+        const OpStats& ao = a.per_op[op];
+        const OpStats& oo = o.per_op[op];
+        EXPECT_EQ(ao.unit_count, oo.unit_count) << "op " << op;
+        EXPECT_NEAR(ao.tensor_flops, oo.tensor_flops,
+                    Tight(oo.tensor_flops))
+            << "op " << op;
+        EXPECT_NEAR(ao.mem_bytes, oo.mem_bytes, Tight(oo.mem_bytes))
+            << "op " << op;
+        EXPECT_NEAR(ao.busy_time, oo.busy_time, Tight(oo.busy_time))
+            << "op " << op;
+        EXPECT_NEAR(ao.finish_time, oo.finish_time,
+                    Tight(oo.finish_time))
+            << "op " << op;
+    }
+    ASSERT_EQ(a.cta_finish_times.size(), o.cta_finish_times.size());
+    for (size_t i = 0; i < o.cta_finish_times.size(); ++i) {
+        EXPECT_NEAR(a.cta_finish_times[i], o.cta_finish_times[i],
+                    Tight(o.cta_finish_times[i]))
+            << "cta " << i;
+    }
+}
+
+/** Compute-bound phase: memory drains long before tensor work, so
+ *  the pacing cap min(cap, rem_x*r_mem/rem_m) sits far above the
+ *  throughput cap and never binds in either core. */
+Phase
+ComputePhase(double tensor_flops, double cuda_flops)
+{
+    Phase ph;
+    ph.tensor_flops = tensor_flops;
+    ph.cuda_flops = cuda_flops;
+    ph.mem_bytes = 1e5;
+    return ph;
+}
+
+Phase
+MemPhase(double mem_bytes)
+{
+    Phase ph;
+    ph.mem_bytes = mem_bytes;
+    return ph;
+}
+
+KernelDesc
+MakeKernel(const std::string& name, std::vector<CtaWork> works)
+{
+    CtaResources res;
+    res.threads = 128;
+    res.shared_mem_bytes = 0.0;
+    return KernelDesc::FromWorks(name, res, std::move(works));
+}
+
+CtaWork
+OneUnitCta(OpClass op, int warps, std::vector<Phase> phases)
+{
+    WorkUnit u;
+    u.op = op;
+    u.warps = warps;
+    u.phases = std::move(phases);
+    CtaWork w;
+    w.units.push_back(std::move(u));
+    return w;
+}
+
+TEST(AnalyticIntegratorTest, SingleSmComputeBoundContentionIsExact)
+{
+    // Six compute-bound units contending for one SM's tensor and CUDA
+    // throughput: the water-fill reallocates on every completion, and
+    // with pacing inert both cores must walk the same rate sequence.
+    GpuSpec spec = OneSmSpec();
+    auto build = [] {
+        std::vector<CtaWork> works;
+        for (int i = 0; i < 6; ++i) {
+            works.push_back(OneUnitCta(
+                i % 2 == 0 ? OpClass::kPrefill : OpClass::kDecode,
+                4 + i, {ComputePhase(1e9 + 2e8 * i, 5e7 * (i + 1))}));
+        }
+        return std::vector<KernelLaunch>{
+            KernelLaunch{MakeKernel("contention", std::move(works)), 0}};
+    };
+    SimResult a = RunOn(spec, EngineCore::kAnalytic, build());
+    SimResult o = RunOn(spec, EngineCore::kExactOracle, build());
+    ExpectTightMatch(a, o);
+}
+
+TEST(AnalyticIntegratorTest, SingleSmMemoryOnlyUnitsAreExact)
+{
+    // Memory-only units: completions are keyed in memory virtual time
+    // S, and the per-SM bandwidth share changes at every drain.
+    GpuSpec spec = OneSmSpec();
+    auto build = [] {
+        std::vector<CtaWork> works;
+        for (int i = 0; i < 4; ++i) {
+            works.push_back(OneUnitCta(OpClass::kDecode, 2 + 2 * i,
+                                       {MemPhase(1e7 * (i + 1))}));
+        }
+        return std::vector<KernelLaunch>{
+            KernelLaunch{MakeKernel("mem_only", std::move(works)), 0}};
+    };
+    SimResult a = RunOn(spec, EngineCore::kAnalytic, build());
+    SimResult o = RunOn(spec, EngineCore::kExactOracle, build());
+    ExpectTightMatch(a, o);
+}
+
+TEST(AnalyticIntegratorTest, PhaseTransitionsAreExact)
+{
+    // Phases flip the bound dimension (compute -> memory -> compute):
+    // each transition retires one dim set and loads the next, and the
+    // integrator must re-key both heaps at the exact boundary.
+    GpuSpec spec = OneSmSpec();
+    auto build = [] {
+        std::vector<CtaWork> works;
+        works.push_back(OneUnitCta(
+            OpClass::kPrefill, 8,
+            {ComputePhase(2e9, 1e8), MemPhase(4e7),
+             ComputePhase(5e8, 2e8)}));
+        works.push_back(OneUnitCta(
+            OpClass::kDecode, 4,
+            {MemPhase(2e7), ComputePhase(1e9, 5e7)}));
+        return std::vector<KernelLaunch>{
+            KernelLaunch{MakeKernel("phases", std::move(works)), 0}};
+    };
+    SimResult a = RunOn(spec, EngineCore::kAnalytic, build());
+    SimResult o = RunOn(spec, EngineCore::kExactOracle, build());
+    ExpectTightMatch(a, o);
+}
+
+TEST(AnalyticIntegratorTest, RefillBoundariesAreExact)
+{
+    // Persistent-lane refill: a drained lane pulls the next item at
+    // the completion instant. The refill decision is discrete (shared
+    // machinery) but the completion that triggers it comes from the
+    // integrator's heap key, so a mistimed key would shift every
+    // subsequent item.
+    GpuSpec spec = OneSmSpec();
+    auto build = [] {
+        std::vector<CtaWork> works;
+        for (int i = 0; i < 2; ++i) {
+            works.push_back(OneUnitCta(OpClass::kDecode, 6,
+                                       {ComputePhase(8e8, 4e7)}));
+        }
+        KernelDesc kd = MakeKernel("refill", std::move(works));
+        auto budget = std::make_shared<int>(5);
+        kd.refill = [budget](int /*sm_id*/, OpClass lane_op,
+                             WorkUnit* next) {
+            if (*budget <= 0) return false;
+            --*budget;
+            WorkUnit u;
+            u.op = lane_op;
+            u.warps = 6;
+            u.phases = {ComputePhase(6e8, 3e7)};
+            *next = u;
+            return true;
+        };
+        return std::vector<KernelLaunch>{KernelLaunch{std::move(kd), 0}};
+    };
+    SimResult a = RunOn(spec, EngineCore::kAnalytic, build());
+    SimResult o = RunOn(spec, EngineCore::kExactOracle, build());
+    EXPECT_EQ(a.total_ctas, o.total_ctas);
+    ExpectTightMatch(a, o);
+}
+
+TEST(AnalyticIntegratorTest, UndersubscribedShortcutIsExact)
+{
+    // One two-warp unit demands half the SM's tensor throughput: the
+    // undersubscribed shortcut hands it its cap without sorting, and
+    // the closed-form completion is rem / cap. A second run with two
+    // such units sits exactly at capacity, forcing the exact sorted
+    // water-fill path; both must match the oracle to rounding.
+    GpuSpec spec = OneSmSpec();
+    for (int nunits = 1; nunits <= 2; ++nunits) {
+        SCOPED_TRACE("units=" + std::to_string(nunits));
+        auto build = [nunits] {
+            std::vector<CtaWork> works;
+            for (int i = 0; i < nunits; ++i) {
+                works.push_back(OneUnitCta(OpClass::kPrefill, 2,
+                                           {ComputePhase(1e9, 0.0)}));
+            }
+            return std::vector<KernelLaunch>{
+                KernelLaunch{MakeKernel("under", std::move(works)), 0}};
+        };
+        SimResult a = RunOn(spec, EngineCore::kAnalytic, build());
+        SimResult o = RunOn(spec, EngineCore::kExactOracle, build());
+        ExpectTightMatch(a, o);
+    }
+}
+
+TEST(AnalyticIntegratorTest, PacedUnitCompletesAtMemoryHorizon)
+{
+    // Pacing binds hard: 1e9 tensor FLOPs would drain in ~0.5 ms at
+    // full rate, but 2.4e9 memory bytes at warps*warp_bandwidth_cap =
+    // 4 * 6 GB/s take exactly 0.1 s. The average-rate core and the
+    // instantaneous-cap oracle follow different tensor trajectories
+    // here, but both must finish the unit at the memory horizon —
+    // the pacing freeze may never move a memory-bound completion.
+    GpuSpec spec = OneSmSpec();
+    auto build = [] {
+        std::vector<CtaWork> works;
+        WorkUnit u;
+        u.op = OpClass::kDecode;
+        u.warps = 4;
+        Phase ph;
+        ph.tensor_flops = 1e9;
+        ph.mem_bytes = 2.4e9;
+        u.phases = {ph};
+        CtaWork w;
+        w.units.push_back(std::move(u));
+        works.push_back(std::move(w));
+        return std::vector<KernelLaunch>{
+            KernelLaunch{MakeKernel("paced", std::move(works)), 0}};
+    };
+    const double horizon = 2.4e9 / (4 * OneSmSpec().warp_bandwidth_cap);
+    SimResult a = RunOn(spec, EngineCore::kAnalytic, build());
+    SimResult o = RunOn(spec, EngineCore::kExactOracle, build());
+    EXPECT_NEAR(a.total_time, horizon, Tight(horizon));
+    EXPECT_NEAR(o.total_time, horizon, Tight(horizon));
+    // Served totals are conserved regardless of trajectory shape.
+    double a_flops = 0.0;
+    double o_flops = 0.0;
+    for (int op = 0; op < kNumOpClasses; ++op) {
+        a_flops += a.per_op[op].tensor_flops;
+        o_flops += o.per_op[op].tensor_flops;
+    }
+    EXPECT_NEAR(a_flops, o_flops, Tight(o_flops));
+}
+
+// ---- AllocateMaxMin undersubscribed-shortcut edge cases ----
+
+std::map<int, double>
+Allocate(std::vector<std::pair<double, int>> caps, double demand_sum,
+         double capacity)
+{
+    constexpr double kMargin = 1.0 - 1e-12;  // engine's margin
+    std::map<int, double> rates;
+    AllocateMaxMin(caps, demand_sum, capacity, kMargin,
+                   [&rates](int uid, double rate) { rates[uid] = rate; });
+    return rates;
+}
+
+TEST(AllocateMaxMinTest, ShortcutMatchesFullWaterFill)
+{
+    // Under capacity the shortcut hands out caps without sorting;
+    // that must be bit-identical to what the sorted water-fill
+    // computes, since no demand can bind the fair share.
+    std::vector<std::pair<double, int>> caps = {
+        {30.0, 2}, {10.0, 1}, {25.0, 3}};
+    auto shortcut = Allocate(caps, 65.0, 100.0);
+    std::map<int, double> full;
+    SortCaps(caps);
+    WaterFill(caps, 100.0, [&full](int uid, double rate) {
+        full[uid] = rate;
+    });
+    EXPECT_EQ(shortcut, full);
+}
+
+TEST(AllocateMaxMinTest, ExactCapacityFallsBackToWaterFill)
+{
+    // demand_sum == capacity exceeds capacity * (1 - 1e-12): the
+    // shortcut must NOT fire, and the exact fill saturates everyone.
+    auto rates = Allocate({{50.0, 1}, {50.0, 2}}, 100.0, 100.0);
+    EXPECT_DOUBLE_EQ(rates[1], 50.0);
+    EXPECT_DOUBLE_EQ(rates[2], 50.0);
+}
+
+TEST(AllocateMaxMinTest, OversubscribedClipsToFairShare)
+{
+    auto rates = Allocate({{80.0, 1}, {80.0, 2}, {10.0, 3}}, 170.0,
+                          100.0);
+    EXPECT_DOUBLE_EQ(rates[3], 10.0);  // small demand fully served
+    EXPECT_DOUBLE_EQ(rates[1], 45.0);  // slack split between the rest
+    EXPECT_DOUBLE_EQ(rates[2], 45.0);
+}
+
+TEST(AllocateMaxMinTest, SummationNoiseCannotFlipAllocations)
+{
+    // A demand_sum perturbed one ulp above the margin boundary runs
+    // the exact path and still produces cap allocations when nothing
+    // binds: the margin exists so rounding can only ever choose
+    // between two identical answers.
+    std::vector<std::pair<double, int>> caps = {{60.0, 1}, {39.0, 2}};
+    double noisy_sum = 100.0 * (1.0 - 5e-13);  // inside margin band
+    auto rates = Allocate(caps, noisy_sum, 100.0);
+    EXPECT_DOUBLE_EQ(rates[1], 60.0);
+    EXPECT_DOUBLE_EQ(rates[2], 39.0);
+}
+
+}  // namespace
+}  // namespace pod::gpusim

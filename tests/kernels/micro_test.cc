@@ -87,7 +87,11 @@ TEST(Micro, StrategyOrderingMatchesPaper)
     double sm_aware = run(FusionStrategy::kSmAwareCta);
     double oracle = run(FusionStrategy::kOracle);
 
-    EXPECT_LE(oracle, sm_aware);
+    // Band: 1e-9 relative. At the balanced point SM-aware ties the
+    // optimal oracle exactly; the two cores round the final drain
+    // differently by a few ulp (1e-15 relative here), so the tie must
+    // not be compared strictly.
+    EXPECT_LE(oracle, sm_aware * (1.0 + 1e-9));
     EXPECT_LT(sm_aware, intra);
     EXPECT_LT(intra, serial);
     // Streams and naive CTA-parallel beat serial by much less than
