@@ -38,7 +38,12 @@
  * same wall-clock budget. When the host has >= N hardware threads
  * and N >= 4 it additionally requires a >= 2x speedup over the
  * serial 8-replica run, failing the build if the parallel engine's
- * scaling regresses.
+ * scaling regresses. It then runs the heterogeneous advance pin: a
+ * mixed H100/A6000 fleet under a deterministically skewed router,
+ * advanced once per mode (single-shot vs work-stealing), both
+ * bit-identical to the serial oracle; on capable hardware the
+ * work-stealing advance phase must be >= 1.3x faster and cut the
+ * pool's barrier-wait fraction by >= 2x (docs/DESIGN.md S8.4).
  */
 #include <algorithm>
 #include <chrono>
@@ -91,6 +96,58 @@ Sarathi()
         return std::make_unique<serve::SarathiScheduler>(kChunk);
     };
 }
+
+/**
+ * Bench-local deterministic weighted round-robin (smooth-WRR): over
+ * any window of sum(weights) consecutive requests, replica r receives
+ * exactly weights[r] of them, smoothly interleaved. It ignores load
+ * on purpose — the skew is the point. The heterogeneous advance pin
+ * needs per-replica windows that stay imbalanced for the whole drain,
+ * which any load-aware policy would erode; a fixed skew makes the
+ * single-shot barrier-wait tax reproducible run over run.
+ */
+class SkewedRouter : public Router
+{
+  public:
+    explicit SkewedRouter(std::vector<int> weights)
+        : weights_(std::move(weights)), current_(weights_.size(), 0)
+    {
+    }
+
+    int
+    Route(const serve::Request&,
+          const std::vector<serve::ReplicaSnapshot>& replicas) override
+    {
+        // Smooth WRR: raise every replica by its weight, pick the
+        // highest (lowest index wins ties), charge the pick the total.
+        size_t n = std::min(weights_.size(), replicas.size());
+        int total = 0;
+        size_t pick = 0;
+        for (size_t r = 0; r < n; ++r) {
+            current_[r] += weights_[r];
+            total += weights_[r];
+            if (current_[r] > current_[pick]) pick = r;
+        }
+        current_[pick] -= total;
+        return static_cast<int>(pick);
+    }
+
+    void
+    Reset() override
+    {
+        std::fill(current_.begin(), current_.end(), 0);
+    }
+
+    std::string
+    Name() const override
+    {
+        return "skewed-wrr";
+    }
+
+  private:
+    std::vector<int> weights_;
+    std::vector<int> current_;
+};
 
 ClusterMetricsReport
 RunFleet(const std::vector<serve::Request>& trace, int replicas,
@@ -201,8 +258,166 @@ TimedLongRun(const std::vector<serve::Request>& trace, int replicas,
     return elapsed;
 }
 
+/** Bit-exact equality on the fleet-report fields the pins compare. */
+bool
+ReportsBitIdentical(const ClusterMetricsReport& a,
+                    const ClusterMetricsReport& b)
+{
+    return a.fleet.makespan == b.fleet.makespan &&
+           a.fleet.iterations == b.fleet.iterations &&
+           a.fleet.requests_per_minute == b.fleet.requests_per_minute &&
+           a.fleet.ttft.Sum() == b.fleet.ttft.Sum() &&
+           a.fleet.tbt.Sum() == b.fleet.tbt.Sum();
+}
+
+/** Pool barrier-wait share of total thread residency in `profile`. */
+double
+BarrierWaitFraction(const telemetry::ClusterProfile& profile)
+{
+    double busy = 0.0;
+    double wait = 0.0;
+    for (const auto& t : profile.threads) {
+        busy += t.busy + t.steal_busy;
+        wait += t.barrier_wait;
+    }
+    double total = busy + wait;
+    return total > 0.0 ? wait / total : 0.0;
+}
+
+long
+PoolSteals(const telemetry::ClusterProfile& profile)
+{
+    long steals = 0;
+    for (const auto& t : profile.threads) steals += t.steals;
+    return steals;
+}
+
+struct HetRun
+{
+    ClusterMetricsReport report;
+    telemetry::ClusterProfile profile;
+};
+
+HetRun
+RunHetFleet(const std::vector<serve::Request>& trace,
+            const std::vector<int>& weights, AdvanceMode mode,
+            int threads)
+{
+    // Mixed fleet: even replicas H100, odd A6000, so equal token
+    // streams already advance at unequal speeds before the router
+    // skew piles on (hot replica 7 is an A6000).
+    ClusterConfig fleet = ClusterConfig::Homogeneous(
+        ReplicaConfig(), static_cast<int>(weights.size()));
+    for (size_t r = 0; r < fleet.replicas.size(); ++r) {
+        fleet.replicas[r].gpu = r % 2 == 0
+                                    ? gpusim::GpuSpec::H100Sxm80GB()
+                                    : gpusim::GpuSpec::RtxA6000();
+    }
+    fleet.advance_mode = mode;
+    ClusterEngine cluster(fleet, Sarathi(),
+                          std::make_unique<SkewedRouter>(weights),
+                          threads);
+    cluster.EnableProfiling(true);
+    HetRun out;
+    out.report = cluster.Run(trace);
+    out.profile = cluster.Profile();
+    return out;
+}
+
+/**
+ * The heterogeneous advance pin (docs/EXPERIMENTS.md): an offline
+ * drain of a mixed H100/A6000 fleet under the skewed router is one
+ * long advance window with genuinely uneven per-replica work — the
+ * workload the work-stealing advance exists for. Single-shot
+ * scheduling eats the imbalance as barrier wait; sliced LPT +
+ * stealing must recover it. Both modes are checked bit-identical to
+ * the serial oracle first, then (on capable hardware) the pin holds
+ * work-stealing to a >= 1.3x advance-phase speedup and a >= 2x
+ * barrier-wait-fraction reduction over single-shot. Writes the
+ * registry dump for --json-out: both modes' profiles plus the pin
+ * gauges, which is what the CI bench-trajectory artifact tracks.
+ */
 int
-RunLongSmoke(int threads)
+RunHeterogeneousPin(int threads, const TelemetryOptions& telemetry)
+{
+    constexpr int kRequests = 200'000;
+    const std::vector<int> weights = {2, 2, 2, 2, 1, 1, 2, 4};
+    auto trace = LongSmokeTrace(kRequests);
+    std::printf("Heterogeneous advance pin: %d requests, %zu replicas "
+                "(H100/A6000 alternating), skewed-wrr router\n",
+                kRequests, weights.size());
+
+    HetRun oracle = RunHetFleet(trace, weights,
+                                AdvanceMode::kSingleShot, 1);
+    HetRun ss = RunHetFleet(trace, weights, AdvanceMode::kSingleShot,
+                            threads);
+    HetRun ws = RunHetFleet(trace, weights, AdvanceMode::kWorkStealing,
+                            threads);
+
+    if (!ReportsBitIdentical(oracle.report, ss.report) ||
+        !ReportsBitIdentical(oracle.report, ws.report)) {
+        std::printf("FAIL: heterogeneous pin diverged from the serial "
+                    "oracle -- determinism regression\n");
+        return 1;
+    }
+    std::printf("  both modes bit-identical to the serial oracle\n");
+
+    double ss_frac = BarrierWaitFraction(ss.profile);
+    double ws_frac = BarrierWaitFraction(ws.profile);
+    double speedup = ws.profile.advance.seconds > 0.0
+                         ? ss.profile.advance.seconds /
+                               ws.profile.advance.seconds
+                         : 1.0;
+    std::printf("  [single-shot ] advance %.2f s, barrier-wait "
+                "fraction %.1f%%\n",
+                ss.profile.advance.seconds, 100.0 * ss_frac);
+    std::printf("  [work-stealing] advance %.2f s, barrier-wait "
+                "fraction %.1f%% (%ld steals)\n",
+                ws.profile.advance.seconds, 100.0 * ws_frac,
+                PoolSteals(ws.profile));
+    std::printf("  advance speedup (steal vs single-shot): %.2fx; "
+                "barrier-wait reduction: %.1fx\n",
+                speedup,
+                ws_frac > 0.0 ? ss_frac / ws_frac : 99.9);
+
+    if (!telemetry.json_out.empty()) {
+        telemetry::MetricRegistry registry;
+        FillRegistry(ws.report, registry);
+        ss.profile.FillRegistry(registry, "profile.single_shot.");
+        ws.profile.FillRegistry(registry, "profile.steal.");
+        registry.SetGauge("pin.advance_speedup", speedup);
+        registry.SetGauge("pin.barrier_wait_fraction.single_shot",
+                          ss_frac);
+        registry.SetGauge("pin.barrier_wait_fraction.steal", ws_frac);
+        WriteMetricsFile(telemetry, registry);
+    }
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (threads >= 4 && hw >= static_cast<unsigned>(threads)) {
+        if (speedup < 1.3) {
+            std::printf("FAIL: work-stealing advance below 1.3x over "
+                        "single-shot on %u-thread hardware -- the "
+                        "barrier-wait tax is back\n",
+                        hw);
+            return 1;
+        }
+        if (ss_frac < 2.0 * ws_frac) {
+            std::printf("FAIL: barrier-wait fraction not halved "
+                        "(single-shot %.1f%%, steal %.1f%%) -- "
+                        "stealing is not rebalancing the fleet\n",
+                        100.0 * ss_frac, 100.0 * ws_frac);
+            return 1;
+        }
+    } else {
+        std::printf("  (heterogeneous pin thresholds skipped: %u "
+                    "hardware threads for %d requested)\n",
+                    hw, threads);
+    }
+    return 0;
+}
+
+int
+RunLongSmoke(int threads, const TelemetryOptions& telemetry)
 {
     constexpr int kRequests = 1'000'000;
     constexpr double kBudgetSeconds = 60.0;
@@ -231,12 +446,7 @@ RunLongSmoke(int threads)
         ClusterMetricsReport parallel;
         double parallel_elapsed =
             TimedLongRun(trace, replicas, threads, &parallel);
-        if (parallel.fleet.makespan != report.fleet.makespan ||
-            parallel.fleet.iterations != report.fleet.iterations ||
-            parallel.fleet.requests_per_minute !=
-                report.fleet.requests_per_minute ||
-            parallel.fleet.ttft.Sum() != report.fleet.ttft.Sum() ||
-            parallel.fleet.tbt.Sum() != report.fleet.tbt.Sum()) {
+        if (!ReportsBitIdentical(parallel, report)) {
             std::printf("FAIL: parallel long-smoke diverged from the "
                         "serial oracle -- determinism regression\n");
             return 1;
@@ -260,6 +470,9 @@ RunLongSmoke(int threads)
                         hw, threads);
         }
         elapsed = parallel_elapsed;
+
+        int het_rc = RunHeterogeneousPin(threads, telemetry);
+        if (het_rc != 0) return het_rc;
     }
 
     std::printf("  wall clock: %.1f s (budget %.0f s)\n", elapsed,
@@ -309,8 +522,14 @@ main(int argc, char** argv)
                      "oracle"
                    : "1M-request complexity pin for the O(active) "
                      "serving/cluster loops");
-        int rc = RunLongSmoke(threads);
-        EmitTelemetry(telemetry, threads);
+        int rc = RunLongSmoke(threads, telemetry);
+        // In the parallel case the heterogeneous pin owns the
+        // registry dump (both modes' profiles + the pin gauges beat
+        // the generic 2-replica instrumented run as a trajectory
+        // artifact); the Chrome trace still comes from EmitTelemetry.
+        TelemetryOptions secondary = telemetry;
+        if (threads > 1) secondary.json_out.clear();
+        EmitTelemetry(secondary, threads);
         return rc;
     }
 

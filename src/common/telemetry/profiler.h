@@ -41,15 +41,27 @@ struct PhaseStat
 
 /**
  * One executing thread's split of an epoch-structured parallel
- * region: `busy` is time spent running tasks, `barrier_wait` is time
- * between finishing its share and the epoch's last task completing —
- * the idle time the ROADMAP work-stealing item targets.
+ * region: `busy` is time spent running tasks claimed from its own
+ * share (static index range or own deque), `barrier_wait` is time
+ * between finishing its share and the epoch's last task completing.
+ * Under the work-stealing mode (docs/DESIGN.md S8.4) `steal_busy`
+ * separates time spent executing slices stolen from another thread's
+ * deque — work that under single-shot scheduling would have been
+ * barrier wait — and `steals` counts those stolen executions. The
+ * three time buckets are disjoint: busy + steal_busy + barrier_wait
+ * covers the thread's epoch residency. `tasks` counts every task
+ * execution (each work-stealing slice counts once, stolen or not).
+ *
+ * New fields go after `tasks`: aggregate initialization
+ * (`ThreadStat{busy, wait, tasks}`) is part of the de-facto API.
  */
 struct ThreadStat
 {
     double busy = 0.0;
     double barrier_wait = 0.0;
     long tasks = 0;
+    double steal_busy = 0.0;
+    long steals = 0;
 };
 
 /** Profile of one ClusterEngine run (docs/DESIGN.md S8 loop). */
@@ -72,8 +84,11 @@ struct ClusterProfile
 
     /**
      * Publish under `<prefix>advance.seconds`,
-     * `<prefix>thread<i>.busy_seconds`, ... (docs/OBSERVABILITY.md
-     * naming scheme; prefix normally "profile.").
+     * `<prefix>thread<i>.busy_seconds`, ... plus pool-wide rollups
+     * (`<prefix>pool.busy_seconds`, `.steal_seconds`,
+     * `.barrier_wait_seconds`, `.barrier_wait_fraction`, `.steals`,
+     * `.tasks`) summed over threads (docs/OBSERVABILITY.md naming
+     * scheme; prefix normally "profile.").
      */
     void FillRegistry(MetricRegistry& registry,
                       const std::string& prefix) const;

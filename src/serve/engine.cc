@@ -88,10 +88,12 @@ ServingEngine::CachedAttnLayerTime(int chunk_len, int kv_len,
                     << 44) ^
                    (static_cast<uint64_t>(static_cast<uint32_t>(ctx)) *
                     0x9E3779B97F4A7C15ull);
-    auto it = attn_cache_.find(key);
-    if (it != attn_cache_.end()) {
-        ++attn_cache_hits_;
-        return it->second;
+    if (config_.attn_cache_enabled) {
+        auto it = attn_cache_.find(key);
+        if (it != attn_cache_.end()) {
+            ++attn_cache_hits_;
+            return it->second;
+        }
     }
     ++attn_cache_misses_;
 
@@ -108,7 +110,9 @@ ServingEngine::CachedAttnLayerTime(int chunk_len, int kv_len,
         config_.backend, batch, config_.gpu, config_.attn_options);
     sim_fastpath_events_ += result.analytic_fastpath_events;
     sim_fallback_events_ += result.oracle_fallback_events;
-    attn_cache_[key] = result.total_time;
+    // The simulated time is a pure function of the bucketed signature,
+    // so memoizing it (or not) is bit-invisible to results.
+    if (config_.attn_cache_enabled) attn_cache_[key] = result.total_time;
     return result.total_time;
 }
 

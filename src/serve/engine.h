@@ -90,6 +90,16 @@ struct ServingConfig
     int decode_bs_bucket = 8;
     int context_bucket = 1024;
 
+    /**
+     * Attention memo cache on/off (docs/DESIGN.md S5.4). Bucketing
+     * happens before the lookup, so cached and uncached runs are
+     * bit-identical — the cache only saves re-simulating a bucketed
+     * signature. Off = every lookup simulates (and counts as a miss);
+     * the knob exists so the cache's value stays measurable as the
+     * analytic core gets cheaper (docs/EXPERIMENTS.md).
+     */
+    bool attn_cache_enabled = true;
+
     /** KV pool capacity in tokens (per GPU). */
     long KvTokenCapacity() const;
 };
@@ -273,6 +283,19 @@ class ServingEngine
 
     /** Queue/KV occupancy view for routing decisions. O(1). */
     ReplicaSnapshot Snapshot() const;
+
+    /**
+     * Unprocessed prefill tokens plus remaining decode tokens across
+     * unfinished requests — the cluster layer's relative cost
+     * estimate for this replica's remaining window
+     * (longest-processing-time-first seeding, docs/DESIGN.md S8.4).
+     * Scheduling hint only: the value never feeds back into any
+     * simulated quantity. O(1).
+     */
+    long PendingWorkTokens() const
+    {
+        return prefill_tokens_pending_ + decode_tokens_pending_;
+    }
 
     /** Metrics over the completed run; requires Done(). */
     MetricsReport Report() const;

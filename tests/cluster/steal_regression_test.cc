@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Serial-oracle determinism net for the work-stealing advance phase
+ * (docs/DESIGN.md S8.4): heterogeneous golden scenarios, run under
+ * every router at thread counts {1, 2, 4, hardware_concurrency} and
+ * slice sizes {1, 64, unbounded}, must produce reports and
+ * per-request completion records that compare *exactly equal* —
+ * bit-identical doubles — to the single-threaded single-shot oracle.
+ * Slice size and advance mode are scheduling knobs: they may only
+ * change which thread runs which part of a replica's window, never
+ * any simulated quantity. A single-shot control at every thread
+ * count pins the PR 6 baseline path alongside.
+ */
+#include "cluster/cluster_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../golden_scenarios.h"
+#include "cluster/router.h"
+#include "report_compare.h"
+#include "serve/scheduler.h"
+
+namespace pod::cluster {
+namespace {
+
+using pod::cluster::test::ExpectReportsEqual;
+using pod::cluster::test::ExpectStatesEqual;
+
+SchedulerFactory
+Sarathi(int token_budget)
+{
+    return [token_budget](int) {
+        return std::make_unique<serve::SarathiScheduler>(token_budget);
+    };
+}
+
+/** Coarse memo-cache buckets: both sides of every comparison share
+ * the bucketing, so resolution is irrelevant and warm caches keep the
+ * sweep fast enough for the sanitizer jobs. */
+void
+CoarsenBuckets(serve::ServingConfig& config)
+{
+    config.kv_bucket = 4096;
+    config.context_bucket = 4096;
+    config.decode_bs_bucket = 32;
+    config.chunk_bucket = 256;
+}
+
+struct Scenario
+{
+    std::string name;
+    ClusterConfig config;
+    int token_budget = 1024;
+    std::vector<serve::Request> trace;
+};
+
+/** The PR 6 net's heterogeneous A100+H100+A6000 fleet: uneven
+ * per-replica windows are exactly what stealing reschedules. */
+Scenario
+HeterogeneousFleet()
+{
+    serve::ServingConfig base;
+    base.backend = core::Backend::kPod;
+    CoarsenBuckets(base);
+    Scenario s;
+    s.name = "heterogeneous";
+    s.config.replicas.assign(3, base);
+    s.config.replicas[1].gpu = gpusim::GpuSpec::H100Sxm80GB();
+    s.config.replicas[2].gpu = gpusim::GpuSpec::RtxA6000();
+    s.trace = golden::ClusterTrace();
+    return s;
+}
+
+/**
+ * An offline burst on an 8-replica mixed H100/A6000 fleet: every
+ * request queued at t = 0, so the whole drain is one advance window
+ * — the deepest slice chains and the most steal opportunities the
+ * engine ever sees, mirroring bench_cluster_scaling's heterogeneous
+ * axis in miniature.
+ */
+Scenario
+OfflineBurstMixedFleet()
+{
+    serve::ServingConfig base;
+    base.backend = core::Backend::kFaSerial;
+    CoarsenBuckets(base);
+    Scenario s;
+    s.name = "offline-burst-mixed";
+    s.config.replicas.assign(8, base);
+    for (size_t r = 0; r < s.config.replicas.size(); ++r) {
+        s.config.replicas[r].gpu = r % 2 == 0
+                                       ? gpusim::GpuSpec::H100Sxm80GB()
+                                       : gpusim::GpuSpec::RtxA6000();
+    }
+    for (int i = 0; i < 64; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.arrival_time = 0.0;
+        r.prefill_tokens = 256 + 613 * (i % 8) + (i % 9 == 0 ? 4000 : 0);
+        r.decode_tokens = 8 + 23 * (i % 7);
+        s.trace.push_back(r);
+    }
+    return s;
+}
+
+/** Watermark overload: preemption/restore lifecycle transitions must
+ * survive slicing at every granularity (a slice boundary can land
+ * between an eviction and its re-admission). */
+Scenario
+WatermarkOverloadFleet()
+{
+    serve::ServingConfig base;
+    base.backend = core::Backend::kFaSerial;
+    base.tensor_parallel = 2;
+    base.memory_fraction = 0.0958;
+    base.kv_policy = serve::KvPolicy::kWatermark;
+    base.kv_preempt_mode = serve::PreemptMode::kSwap;
+    CoarsenBuckets(base);
+    Scenario s;
+    s.name = "overload-swap";
+    s.config = ClusterConfig::Homogeneous(base, 2);
+    s.token_budget = 512;
+    s.trace = golden::OverloadTrace(16);
+    return s;
+}
+
+/** One engine variant of the sweep. */
+struct Variant
+{
+    AdvanceMode mode;
+    int threads;
+    int slice_events;  // <= 0 = unbounded
+};
+
+std::vector<Variant>
+Variants()
+{
+    const int hw = ThreadPool::ResolveThreads(0);
+    std::vector<Variant> variants;
+    // Slice-size sweep at 2 and 4 threads (1 and 64 force requeues;
+    // 0 = whole-window slices, the pure-LPT schedule).
+    for (int threads : {2, 4}) {
+        for (int slice : {1, 64, 0}) {
+            variants.push_back(
+                {AdvanceMode::kWorkStealing, threads, slice});
+        }
+    }
+    // Degenerate and oversubscribed thread counts at default slicing.
+    variants.push_back({AdvanceMode::kWorkStealing, 1, 64});
+    variants.push_back({AdvanceMode::kWorkStealing, hw, 64});
+    // Single-shot control: the PR 6 baseline stays pinned too.
+    for (int threads : {2, 4}) {
+        variants.push_back({AdvanceMode::kSingleShot, threads, 0});
+    }
+    return variants;
+}
+
+void
+RunScenarioSweep(const Scenario& scenario)
+{
+    for (const std::string& router : RouterNames()) {
+        SCOPED_TRACE("router " + router);
+        ClusterConfig oracle_config = scenario.config;
+        oracle_config.advance_mode = AdvanceMode::kSingleShot;
+        ClusterEngine oracle(oracle_config,
+                             Sarathi(scenario.token_budget),
+                             MakeRouter(router), /*num_threads=*/1);
+        ClusterMetricsReport expected = oracle.Run(scenario.trace);
+
+        for (const Variant& v : Variants()) {
+            SCOPED_TRACE(::testing::Message()
+                         << (v.mode == AdvanceMode::kWorkStealing
+                                 ? "steal"
+                                 : "single-shot")
+                         << " threads " << v.threads << " slice "
+                         << v.slice_events);
+            ClusterConfig config = scenario.config;
+            config.advance_mode = v.mode;
+            config.advance_slice_events = v.slice_events;
+            ClusterEngine parallel(config,
+                                   Sarathi(scenario.token_budget),
+                                   MakeRouter(router), v.threads);
+            ClusterMetricsReport got = parallel.Run(scenario.trace);
+            ExpectReportsEqual(expected, got);
+            ExpectStatesEqual(oracle, parallel);
+        }
+    }
+}
+
+TEST(StealRegressionTest,
+     HeterogeneousFleetBitIdenticalAcrossModesAndSlices)
+{
+    RunScenarioSweep(HeterogeneousFleet());
+}
+
+TEST(StealRegressionTest,
+     OfflineBurstMixedFleetBitIdenticalAcrossModesAndSlices)
+{
+    RunScenarioSweep(OfflineBurstMixedFleet());
+}
+
+TEST(StealRegressionTest,
+     WatermarkOverloadBitIdenticalAcrossModesAndSlices)
+{
+    RunScenarioSweep(WatermarkOverloadFleet());
+}
+
+TEST(StealRegressionTest, SliceSizeOneMatchesUnboundedExactly)
+{
+    // Direct steal-vs-steal pin with maximal scheduling divergence:
+    // slice 1 (a deque round-trip per Step) against whole-window
+    // slices, same fleet, same threads.
+    Scenario s = OfflineBurstMixedFleet();
+    ClusterConfig fine = s.config;
+    fine.advance_slice_events = 1;
+    ClusterConfig unbounded = s.config;
+    unbounded.advance_slice_events = 0;
+    ClusterEngine a(fine, Sarathi(s.token_budget),
+                    MakeRouter("least-outstanding"), 4);
+    ClusterEngine b(unbounded, Sarathi(s.token_budget),
+                    MakeRouter("least-outstanding"), 4);
+    ClusterMetricsReport ra = a.Run(s.trace);
+    ClusterMetricsReport rb = b.Run(s.trace);
+    ExpectReportsEqual(ra, rb);
+    ExpectStatesEqual(a, b);
+}
+
+TEST(StealRegressionTest, TracingIsBitIdenticalUnderStealing)
+{
+    // The sim-time trace must also be schedule-independent: recorders
+    // are written by whichever thread runs a slice, so a migrating
+    // chain writes one replica's recorder from several threads —
+    // serialized by the slice contract. Compare merged trace bytes
+    // against the serial oracle's.
+    Scenario s = HeterogeneousFleet();
+    ClusterConfig oracle_config = s.config;
+    oracle_config.advance_mode = AdvanceMode::kSingleShot;
+    ClusterEngine oracle(oracle_config, Sarathi(s.token_budget),
+                         MakeRouter("round-robin"), 1);
+    oracle.EnableTracing();
+    (void)oracle.Run(s.trace);
+
+    ClusterConfig config = s.config;
+    config.advance_slice_events = 1;
+    ClusterEngine parallel(config, Sarathi(s.token_budget),
+                           MakeRouter("round-robin"), 4);
+    parallel.EnableTracing();
+    (void)parallel.Run(s.trace);
+
+    std::ostringstream serial_trace;
+    std::ostringstream parallel_trace;
+    oracle.WriteChromeTrace(serial_trace);
+    parallel.WriteChromeTrace(parallel_trace);
+    EXPECT_EQ(serial_trace.str(), parallel_trace.str());
+}
+
+}  // namespace
+}  // namespace pod::cluster

@@ -301,6 +301,39 @@ TEST(ServingEngineTest, AttnCacheReused)
     EXPECT_GT(engine.AttnCacheSize(), 0u);
 }
 
+TEST(ServingEngineTest, AttnCacheDisabledIsBitIdenticalAndEmpty)
+{
+    // The cache memoizes a pure function of the *bucketed* signature
+    // (bucketing happens before the lookup), so disabling it may only
+    // cost time, never change a result — the invariant that makes the
+    // cache's value measurable (BM_ServeMemoCache) without a fidelity
+    // trade.
+    auto trace = UniformTrace(6, 4096, 96);
+    ServingEngine cached(SmallConfig(core::Backend::kFaSerial),
+                         std::make_unique<SarathiScheduler>(512));
+    MetricsReport with_cache = cached.Run(trace);
+
+    ServingConfig config = SmallConfig(core::Backend::kFaSerial);
+    config.attn_cache_enabled = false;
+    ServingEngine uncached(config,
+                           std::make_unique<SarathiScheduler>(512));
+    MetricsReport without_cache = uncached.Run(trace);
+
+    EXPECT_EQ(with_cache.makespan, without_cache.makespan);
+    EXPECT_EQ(with_cache.iterations, without_cache.iterations);
+    EXPECT_EQ(with_cache.mean_batch_tokens,
+              without_cache.mean_batch_tokens);
+    EXPECT_EQ(with_cache.ttft.Sum(), without_cache.ttft.Sum());
+    EXPECT_EQ(with_cache.tbt.Sum(), without_cache.tbt.Sum());
+    EXPECT_EQ(with_cache.latency.Sum(), without_cache.latency.Sum());
+
+    // Off = no entries, no hits; every lookup is a simulation (miss).
+    EXPECT_EQ(uncached.AttnCacheSize(), 0u);
+    EXPECT_EQ(uncached.AttnCacheHits(), 0);
+    EXPECT_EQ(uncached.AttnCacheMisses(),
+              cached.AttnCacheHits() + cached.AttnCacheMisses());
+}
+
 TEST(ServingEngineTest, StepLoopBitIdenticalToRun)
 {
     // The Step() extraction must not perturb Run(): driving an
