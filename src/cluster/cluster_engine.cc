@@ -345,6 +345,22 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
             report.per_replica[r].preemptions_recompute;
         report.preemptions_swap += report.per_replica[r].preemptions_swap;
         report.swap_time_total += report.per_replica[r].swap_time_total;
+        report.prefix_hits += report.per_replica[r].prefix_hits;
+        report.prefix_misses += report.per_replica[r].prefix_misses;
+        report.prefix_hit_blocks +=
+            report.per_replica[r].prefix_hit_blocks;
+        report.prefix_evicted_blocks +=
+            report.per_replica[r].prefix_evicted_blocks;
+        report.prefix_cached_blocks +=
+            report.per_replica[r].prefix_cached_blocks;
+        report.prefix_shared_blocks +=
+            report.per_replica[r].prefix_shared_blocks;
+        report.prefix_tokens_saved +=
+            report.per_replica[r].prefix_tokens_saved;
+        report.prefill_tokens_processed +=
+            report.per_replica[r].prefill_tokens_processed;
+        report.decode_tokens_processed +=
+            report.per_replica[r].decode_tokens_processed;
         fleet_states.insert(fleet_states.end(),
                             replica.States().begin(),
                             replica.States().end());
@@ -369,6 +385,18 @@ ClusterEngine::Run(std::vector<serve::Request> requests)
     // Sim-core event counts likewise live only in the engines.
     report.fleet.sim_fastpath_events = report.sim_fastpath_events;
     report.fleet.sim_fallback_events = report.sim_fallback_events;
+    // Prefix-cache and processed-token counters likewise.
+    report.fleet.prefix_hits = report.prefix_hits;
+    report.fleet.prefix_misses = report.prefix_misses;
+    report.fleet.prefix_hit_blocks = report.prefix_hit_blocks;
+    report.fleet.prefix_evicted_blocks = report.prefix_evicted_blocks;
+    report.fleet.prefix_cached_blocks = report.prefix_cached_blocks;
+    report.fleet.prefix_shared_blocks = report.prefix_shared_blocks;
+    report.fleet.prefix_tokens_saved = report.prefix_tokens_saved;
+    report.fleet.prefill_tokens_processed =
+        report.prefill_tokens_processed;
+    report.fleet.decode_tokens_processed =
+        report.decode_tokens_processed;
     report.request_imbalance_cv = CoefficientOfVariation(request_counts);
     report.token_imbalance_cv = CoefficientOfVariation(token_counts);
     if (prof) {

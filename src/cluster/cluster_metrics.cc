@@ -33,6 +33,12 @@ ClusterMetricsReport::AttnCacheHitRate() const
 }
 
 double
+ClusterMetricsReport::PrefixHitRate() const
+{
+    return HitRate(prefix_hits, prefix_misses);
+}
+
+double
 CoefficientOfVariation(const std::vector<double>& values)
 {
     SampleStats stats;
@@ -71,6 +77,25 @@ FillRegistry(const ClusterMetricsReport& report,
                         report.preemptions_swap);
     registry.SetGauge(prefix + "swap.total_seconds",
                       report.swap_time_total);
+    registry.AddCounter(prefix + "kv_prefix.hits", report.prefix_hits);
+    registry.AddCounter(prefix + "kv_prefix.misses",
+                        report.prefix_misses);
+    registry.AddCounter(prefix + "kv_prefix.hit_blocks",
+                        report.prefix_hit_blocks);
+    registry.AddCounter(prefix + "kv_prefix.evicted_blocks",
+                        report.prefix_evicted_blocks);
+    registry.AddCounter(prefix + "kv_prefix.tokens_saved",
+                        report.prefix_tokens_saved);
+    registry.SetGauge(prefix + "kv_prefix.cached_blocks",
+                      static_cast<double>(report.prefix_cached_blocks));
+    registry.SetGauge(prefix + "kv_prefix.shared_blocks",
+                      static_cast<double>(report.prefix_shared_blocks));
+    registry.SetGauge(prefix + "kv_prefix.hit_rate",
+                      report.PrefixHitRate());
+    registry.AddCounter(prefix + "tokens.prefill_processed",
+                        report.prefill_tokens_processed);
+    registry.AddCounter(prefix + "tokens.decode_processed",
+                        report.decode_tokens_processed);
 
     serve::FillRegistry(report.fleet, registry, prefix + "fleet.");
 

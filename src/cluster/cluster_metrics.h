@@ -105,8 +105,26 @@ struct ClusterMetricsReport
     long preemptions_swap = 0;
     double swap_time_total = 0.0;
 
+    // Fleet-wide prefix-cache and processed-token rollup (sums of
+    // the per-replica MetricsReport counters; docs/DESIGN.md S2.6).
+    // The prefix_* counters stay zero unless replicas enable
+    // ServingConfig::prefix_cache_enabled.
+    long prefix_hits = 0;
+    long prefix_misses = 0;
+    long prefix_hit_blocks = 0;
+    long prefix_evicted_blocks = 0;
+    long prefix_cached_blocks = 0;
+    long prefix_shared_blocks = 0;
+    long prefix_tokens_saved = 0;
+    long prefill_tokens_processed = 0;
+    long decode_tokens_processed = 0;
+
     /** Fleet cache hits / (hits + misses); 0 when no lookups. */
     double AttnCacheHitRate() const;
+
+    /** Fleet prefix-cache hits / (hits + misses); 0 when no
+     * hashable admissions happened. */
+    double PrefixHitRate() const;
 };
 
 /**

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "serve/prefix/block_hash.h"
 
 namespace pod::cluster {
 
@@ -115,6 +116,58 @@ PreemptionAwareRouter::Route(const serve::Request& request,
     });
 }
 
+PrefixAffinityRouter::PrefixAffinityRouter(int block_size)
+    : block_size_(block_size)
+{
+    POD_CHECK_ARG(block_size >= 1, "block size must be >= 1");
+}
+
+int
+PrefixAffinityRouter::Route(const serve::Request& request,
+                            const std::vector<serve::ReplicaSnapshot>&
+                                replicas)
+{
+    POD_CHECK_ARG(!replicas.empty(), "router needs at least one replica");
+    routed_.resize(replicas.size());
+
+    std::vector<uint64_t> hashes =
+        serve::prefix::BlockHashes(request, block_size_);
+
+    // Longest-prefix probe per replica: chained hashes mean the
+    // replica's set contains hashes[0..k) exactly when it saw a
+    // prompt sharing at least that prefix, so the first miss ends
+    // the match.
+    int best = -1;
+    size_t best_match = 0;
+    for (size_t r = 0; r < replicas.size(); ++r) {
+        const std::unordered_set<uint64_t>& seen = routed_[r];
+        size_t match = 0;
+        while (match < hashes.size() &&
+               seen.count(hashes[match]) > 0) {
+            ++match;
+        }
+        if (match == 0) continue;
+        if (best < 0 || match > best_match ||
+            (match == best_match &&
+             replicas[r].kv_pressure <
+                 replicas[static_cast<size_t>(best)].kv_pressure)) {
+            best = static_cast<int>(r);
+            best_match = match;
+        }
+    }
+    if (best < 0) {
+        // Opaque prompt or cold prefix: place by KV pressure, like
+        // the least-kv baseline.
+        best = ArgMin(replicas, [](const serve::ReplicaSnapshot& r) {
+            return std::make_pair(r.kv_pressure,
+                                  static_cast<double>(r.outstanding));
+        });
+    }
+    routed_[static_cast<size_t>(best)].insert(hashes.begin(),
+                                              hashes.end());
+    return best;
+}
+
 std::unique_ptr<Router>
 MakeRouter(const std::string& name)
 {
@@ -133,14 +186,17 @@ MakeRouter(const std::string& name)
     if (name == "preemption-aware") {
         return std::make_unique<PreemptionAwareRouter>();
     }
+    if (name == "prefix-affinity") {
+        return std::make_unique<PrefixAffinityRouter>();
+    }
     Fatal("unknown router policy '%s'", name.c_str());
 }
 
 std::vector<std::string>
 RouterNames()
 {
-    return {"round-robin", "least-outstanding", "least-kv",
-            "prefill-aware", "preemption-aware"};
+    return {"round-robin",   "least-outstanding", "least-kv",
+            "prefill-aware", "preemption-aware",  "prefix-affinity"};
 }
 
 }  // namespace pod::cluster

@@ -11,8 +11,10 @@
 #ifndef POD_CLUSTER_ROUTER_H
 #define POD_CLUSTER_ROUTER_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "serve/engine.h"
@@ -143,9 +145,44 @@ class PreemptionAwareRouter : public Router
 };
 
 /**
+ * Prefix-affinity routing for fleets running the prefix cache
+ * (docs/DESIGN.md S2.6): steer a request to the replica already
+ * holding the longest prefix of its prompt, so shared system prompts
+ * and session turns keep hitting one replica's cache instead of
+ * re-prefilling on whichever replica is idlest. The router tracks,
+ * per replica, the block-hash chains of the prompts it routed there
+ * — a model of what each replica's cache holds that needs no feedback
+ * channel from the engines. Requests with opaque prompts, and prompts
+ * matching nothing anywhere, fall back to least-KV-pressure; among
+ * equal matches, lower KV pressure wins.
+ */
+class PrefixAffinityRouter : public Router
+{
+  public:
+    /** @param block_size must equal the engines' kv_block_size so
+     *        the router's hash chains line up with the caches'. */
+    explicit PrefixAffinityRouter(int block_size = 16);
+
+    int Route(const serve::Request& request,
+              const std::vector<serve::ReplicaSnapshot>& replicas)
+        override;
+
+    void Reset() override { routed_.clear(); }
+
+    std::string Name() const override { return "prefix-affinity"; }
+
+  private:
+    int block_size_;
+
+    /** Per-replica set of block hashes ever routed there. Chained
+     * hashes make sequential membership a prefix-length probe. */
+    std::vector<std::unordered_set<uint64_t>> routed_;
+};
+
+/**
  * Build a router by policy name: "round-robin", "least-outstanding",
- * "least-kv", "prefill-aware" or "preemption-aware". Fatal on
- * unknown names.
+ * "least-kv", "prefill-aware", "preemption-aware" or
+ * "prefix-affinity". Fatal on unknown names.
  */
 std::unique_ptr<Router> MakeRouter(const std::string& name);
 

@@ -30,6 +30,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "model/iteration_cost.h"
+#include "serve/prefix/prefix_cache.h"
 
 namespace pod::serve {
 
@@ -198,11 +199,14 @@ ServingEngine::Reset()
     preemptions_recompute_ = 0;
     preemptions_swap_ = 0;
     swap_time_total_ = 0.0;
+    prefill_tokens_processed_ = 0;
+    decode_tokens_processed_ = 0;
     long kv_tokens = config_.KvTokenCapacity();
     kv_ = MakeKvAllocator(config_.kv_policy,
                           std::max<long>(1, kv_tokens / config_.kv_block_size),
                           config_.kv_block_size, config_.kv_watermark,
-                          config_.kv_preempt_mode);
+                          config_.kv_preempt_mode,
+                          config_.prefix_cache_enabled);
     kv_bytes_per_token_ =
         config_.model.KvBytesPerTokenPerGpu(config_.tensor_parallel);
     swap_bandwidth_ =
@@ -250,7 +254,8 @@ ServingEngine::SyncArrivals()
 void
 ServingEngine::ApplyAdmissions(const SchedulingDecision& decision)
 {
-    for (int idx : decision.admissions) {
+    for (const auto& a : decision.admissions) {
+        const int idx = a.req_index;
         // FCFS admissions are exactly the next unadmitted-queue heads.
         POD_ASSERT(unadmitted_head_ < unadmitted_.size() &&
                    unadmitted_[unadmitted_head_] == idx);
@@ -263,6 +268,8 @@ ServingEngine::ApplyAdmissions(const SchedulingDecision& decision)
         }
         ++running_;
         decode_tokens_pending_ += state.request.decode_tokens;
+        // Prompt tokens served from the prefix cache never execute.
+        prefill_tokens_pending_ -= a.cached_tokens;
         pending_unadmitted_blocks_ -=
             kv_->BlocksFor(state.request.prefill_tokens +
                            state.request.decode_tokens);
@@ -292,7 +299,11 @@ ServingEngine::ApplyLifecycleTransitions(
             state.request.decode_tokens - state.decoded;
         // The restore reserved exactly the blocks the preemption
         // queued as latent demand (swap footprint / prefill target).
-        pending_preempted_blocks_ -= t.blocks;
+        // A prefix hit covers part of the target from cache, so the
+        // reservation shrank by exactly the cached blocks.
+        prefill_tokens_pending_ -= t.cached_tokens;
+        pending_preempted_blocks_ -=
+            t.blocks + kv_->BlocksFor(t.cached_tokens);
         if (t.mode == PreemptMode::kSwap) {
             swap_bytes += static_cast<double>(t.blocks) *
                           kv_->BlockSize() * kv_bytes_per_token_;
@@ -422,8 +433,13 @@ ServingEngine::Step()
         }
         state.prefilled += p.chunk_len;
         prefill_tokens_pending_ -= p.chunk_len;
+        prefill_tokens_processed_ += p.chunk_len;
         POD_ASSERT(state.prefilled <= state.PrefillTarget());
         if (state.PrefillDone()) {
+            // The prompt's KV is fully on-device now: a caching
+            // allocator promotes its blocks into the prefix cache
+            // (no-op for cacheless policies).
+            kv_->OnPrefillComplete(state);
             // The completing iteration emits one output token: the
             // first for a fresh prompt, the next for a request whose
             // context a recompute preemption restored.
@@ -435,6 +451,7 @@ ServingEngine::Step()
                 state.tbt.push_back(now_ - state.last_token_time);
             }
             decode_tokens_pending_ -= 1;
+            decode_tokens_processed_ += 1;
             state.last_token_time = now_;
             if (state.decoded >= state.request.decode_tokens) {
                 FinishRequest(state, result);
@@ -453,6 +470,7 @@ ServingEngine::Step()
                 state.decoded);
         }
         decode_tokens_pending_ -= 1;
+        decode_tokens_processed_ += 1;
         state.tbt.push_back(now_ - state.last_token_time);
         state.last_token_time = now_;
         if (state.decoded >= state.request.decode_tokens) {
@@ -522,6 +540,17 @@ ServingEngine::Snapshot() const
     snap.attn_cache_misses = attn_cache_misses_;
     snap.sim_fastpath_events = sim_fastpath_events_;
     snap.sim_fallback_events = sim_fallback_events_;
+    snap.prefill_tokens_processed = prefill_tokens_processed_;
+    snap.decode_tokens_processed = decode_tokens_processed_;
+    if (const prefix::PrefixCacheStats* ps = kv_->PrefixStats()) {
+        snap.prefix_hits = ps->hits;
+        snap.prefix_misses = ps->misses;
+        snap.prefix_hit_blocks = ps->hit_blocks;
+        snap.prefix_evicted_blocks = ps->evicted_blocks;
+        snap.prefix_cached_blocks = ps->cached_blocks;
+        snap.prefix_shared_blocks = ps->shared_blocks;
+        snap.prefix_tokens_saved = ps->prefill_tokens_saved;
+    }
     return snap;
 }
 
@@ -537,6 +566,17 @@ ServingEngine::Report() const
     report.swap_time_total = swap_time_total_;
     report.sim_fastpath_events = sim_fastpath_events_;
     report.sim_fallback_events = sim_fallback_events_;
+    report.prefill_tokens_processed = prefill_tokens_processed_;
+    report.decode_tokens_processed = decode_tokens_processed_;
+    if (const prefix::PrefixCacheStats* ps = kv_->PrefixStats()) {
+        report.prefix_hits = ps->hits;
+        report.prefix_misses = ps->misses;
+        report.prefix_hit_blocks = ps->hit_blocks;
+        report.prefix_evicted_blocks = ps->evicted_blocks;
+        report.prefix_cached_blocks = ps->cached_blocks;
+        report.prefix_shared_blocks = ps->shared_blocks;
+        report.prefix_tokens_saved = ps->prefill_tokens_saved;
+    }
     return report;
 }
 

@@ -75,6 +75,16 @@ struct ServingConfig
     /** How preemption victims are evicted (kWatermark only). */
     PreemptMode kv_preempt_mode = PreemptMode::kRecompute;
 
+    /**
+     * Shared-prefix KV reuse (docs/DESIGN.md S2.6): wrap the KV
+     * policy in the radix prefix cache so admissions serve cached
+     * prompt blocks instead of re-prefilling them. Only requests
+     * with hashable prompts (Request::prompt) can hit; off (the
+     * default) is bit-identical to the unwrapped policy. Requires
+     * kRecompute preemption under kWatermark.
+     */
+    bool prefix_cache_enabled = false;
+
     /** Fraction of HBM usable for weights + KV. */
     double memory_fraction = 0.9;
 
@@ -194,6 +204,23 @@ struct ReplicaSnapshot
 
     /** Stepwise-oracle sim events (fallbacks or ExactOracle runs). */
     long sim_fallback_events = 0;
+
+    /** Prefill tokens actually executed in chunks since Reset()
+     * (prefix-cache hits excluded — the fig15 P:D numerator). */
+    long prefill_tokens_processed = 0;
+
+    /** Output tokens emitted since Reset(). */
+    long decode_tokens_processed = 0;
+
+    // ---- prefix cache (all zero when prefix_cache_enabled is off;
+    //      docs/OBSERVABILITY.md kv_prefix.* rows) ----
+    long prefix_hits = 0;
+    long prefix_misses = 0;
+    long prefix_hit_blocks = 0;
+    long prefix_evicted_blocks = 0;
+    long prefix_cached_blocks = 0;
+    long prefix_shared_blocks = 0;
+    long prefix_tokens_saved = 0;
 };
 
 /** Outcome of one ServingEngine::Step() call. */
@@ -337,6 +364,19 @@ class ServingEngine
     /** Stepwise-oracle sim events (fallbacks or ExactOracle runs). */
     long SimFallbackEvents() const { return sim_fallback_events_; }
 
+    /** Prefill tokens actually executed since Reset() (prefix-cache
+     * hits excluded). */
+    long PrefillTokensProcessed() const
+    {
+        return prefill_tokens_processed_;
+    }
+
+    /** Output tokens emitted since Reset(). */
+    long DecodeTokensProcessed() const
+    {
+        return decode_tokens_processed_;
+    }
+
     const ServingConfig& Config() const { return config_; }
 
     /**
@@ -458,6 +498,12 @@ class ServingEngine
     long preemptions_recompute_ = 0;
     long preemptions_swap_ = 0;
     double swap_time_total_ = 0.0;
+
+    /** Prefill tokens executed / output tokens emitted since
+     * Reset(). processed + prefix_tokens_saved == submitted prefill
+     * work under the conservative policy (no recompute inflation). */
+    long prefill_tokens_processed_ = 0;
+    long decode_tokens_processed_ = 0;
 };
 
 }  // namespace pod::serve

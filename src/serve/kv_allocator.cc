@@ -5,6 +5,7 @@
 #include "serve/kv_allocator.h"
 
 #include "common/logging.h"
+#include "serve/prefix/prefix_allocator.h"
 
 namespace pod::serve {
 
@@ -157,8 +158,13 @@ WatermarkKvAllocator::SwappedBlocks(int request_id) const
 
 std::unique_ptr<KvAllocator>
 MakeKvAllocator(KvPolicy policy, long total_blocks, int block_size,
-                double watermark, PreemptMode preempt_mode)
+                double watermark, PreemptMode preempt_mode,
+                bool prefix_cache_enabled)
 {
+    if (prefix_cache_enabled) {
+        return std::make_unique<prefix::PrefixCachingKvAllocator>(
+            policy, total_blocks, block_size, watermark, preempt_mode);
+    }
     switch (policy) {
         case KvPolicy::kConservative:
             return std::make_unique<ConservativeKvAllocator>(total_blocks,

@@ -33,6 +33,10 @@
 
 namespace pod::serve {
 
+namespace prefix {
+struct PrefixCacheStats;
+}  // namespace prefix
+
 /** How an evicted request's KV is recovered on re-admission. */
 enum class PreemptMode {
     kRecompute,  ///< Drop the KV; re-run prefill over the context.
@@ -83,6 +87,29 @@ class KvAllocator
 
     /** Release a finished request's blocks. */
     virtual void Release(int request_id) { pool_.Free(request_id); }
+
+    /**
+     * Prompt tokens the most recent successful TryAdmit() served
+     * from a prefix cache (0 for cacheless policies). The scheduler
+     * credits them as already-prefilled before building the batch.
+     */
+    virtual int LastAdmitCachedTokens() const { return 0; }
+
+    /**
+     * Hook: the request's prefill just completed (engine progress
+     * loop). Prefix-caching policies insert the prompt's blocks into
+     * their cache here; the default is a no-op.
+     */
+    virtual void OnPrefillComplete(const RequestState& state)
+    {
+        (void)state;
+    }
+
+    /** Prefix-cache statistics, or nullptr for cacheless policies. */
+    virtual const prefix::PrefixCacheStats* PrefixStats() const
+    {
+        return nullptr;
+    }
 
     /**
      * Fatal if the request could never be admitted by this policy
@@ -195,13 +222,15 @@ class WatermarkKvAllocator : public KvAllocator
 
 /**
  * Build the allocator for a policy. `watermark` and `preempt_mode`
- * only apply to KvPolicy::kWatermark.
+ * only apply to KvPolicy::kWatermark. With `prefix_cache_enabled`
+ * the policy is wrapped in the radix prefix cache
+ * (serve/prefix/prefix_allocator.h; requires PreemptMode::kRecompute
+ * under KvPolicy::kWatermark — swap would pin shared blocks).
  */
-std::unique_ptr<KvAllocator> MakeKvAllocator(KvPolicy policy,
-                                             long total_blocks,
-                                             int block_size,
-                                             double watermark,
-                                             PreemptMode preempt_mode);
+std::unique_ptr<KvAllocator> MakeKvAllocator(
+    KvPolicy policy, long total_blocks, int block_size,
+    double watermark, PreemptMode preempt_mode,
+    bool prefix_cache_enabled = false);
 
 }  // namespace pod::serve
 

@@ -87,4 +87,63 @@ BlockKvManager::Free(int request_id)
     return blocks;
 }
 
+bool
+BlockKvManager::ReserveShared(long blocks)
+{
+    POD_CHECK_ARG(blocks >= 0, "block count must be >= 0");
+    if (blocks > FreeBlocks()) return false;
+    shared_blocks_ += blocks;
+    used_blocks_ += blocks;
+    return true;
+}
+
+void
+BlockKvManager::ReleaseShared(long blocks)
+{
+    POD_CHECK_ARG(blocks >= 0, "block count must be >= 0");
+    POD_CHECK_ARG(blocks <= shared_blocks_,
+                  "shared account holds fewer blocks than released");
+    shared_blocks_ -= blocks;
+    used_blocks_ -= blocks;
+}
+
+void
+BlockKvManager::TransferToShared(int request_id, long blocks)
+{
+    POD_CHECK_ARG(blocks >= 0, "block count must be >= 0");
+    auto it = reserved_.find(request_id);
+    POD_CHECK_ARG(it != reserved_.end(), "request holds no reservation");
+    POD_CHECK_ARG(blocks <= it->second,
+                  "request holds fewer blocks than transferred");
+    it->second -= blocks;
+    shared_blocks_ += blocks;
+    // used_blocks_ unchanged: the blocks only changed owner.
+}
+
+void
+BlockKvManager::Shrink(int request_id, long blocks)
+{
+    POD_CHECK_ARG(blocks >= 0, "block count must be >= 0");
+    auto it = reserved_.find(request_id);
+    POD_CHECK_ARG(it != reserved_.end(), "request holds no reservation");
+    POD_CHECK_ARG(blocks <= it->second,
+                  "request holds fewer blocks than shrunk");
+    it->second -= blocks;
+    used_blocks_ -= blocks;
+}
+
+void
+BlockKvManager::CheckLedger() const
+{
+    long held = 0;
+    for (const auto& [id, blocks] : reserved_) {
+        (void)id;
+        POD_ASSERT(blocks >= 0);
+        held += blocks;
+    }
+    POD_ASSERT(shared_blocks_ >= 0);
+    POD_ASSERT(held + shared_blocks_ == used_blocks_);
+    POD_ASSERT(used_blocks_ >= 0 && used_blocks_ <= total_blocks_);
+}
+
 }  // namespace pod::serve

@@ -68,6 +68,39 @@ class BlockKvManager
      */
     long Free(int request_id);
 
+    // ---- shared account (prefix cache; docs/DESIGN.md S2.6) ----
+    // Cached prompt blocks are owned by no single request: they sit
+    // in a shared account that counts toward UsedBlocks() like any
+    // reservation. The PrefixCache tracks *which* blocks these are
+    // and who references them; this ledger only guarantees the counts
+    // can never leak or double-free (every transfer is guarded).
+
+    /** Move `blocks` from the free pool into the shared account;
+     * false (and no change) if they do not fit. */
+    bool ReserveShared(long blocks);
+
+    /** Return `blocks` from the shared account to the free pool.
+     * Fatal if the account holds fewer (double-free guard). */
+    void ReleaseShared(long blocks);
+
+    /** Re-label `blocks` of a request's private reservation as
+     * shared (a freshly prefilled prompt entering the cache). Fatal
+     * if the request holds fewer (overflow guard). The request's
+     * entry survives even at zero held blocks. */
+    void TransferToShared(int request_id, long blocks);
+
+    /** Give back `blocks` of a request's private reservation (its
+     * prompt was already cached by someone else, so the duplicate
+     * is dropped). Fatal if the request holds fewer. */
+    void Shrink(int request_id, long blocks);
+
+    /** Blocks in the shared account. */
+    long SharedBlocks() const { return shared_blocks_; }
+
+    /** Audit the ledger: per-request holdings plus the shared
+     * account must exactly equal UsedBlocks(). Fatal on drift. */
+    void CheckLedger() const;
+
     long TotalBlocks() const { return total_blocks_; }
     long UsedBlocks() const { return used_blocks_; }
     long FreeBlocks() const { return total_blocks_ - used_blocks_; }
@@ -86,6 +119,7 @@ class BlockKvManager
     long total_blocks_;
     int block_size_;
     long used_blocks_ = 0;
+    long shared_blocks_ = 0;
     std::unordered_map<int, long> reserved_;
 };
 

@@ -94,6 +94,23 @@ FillRegistry(const MetricsReport& report,
                         report.sim_fastpath_events);
     registry.AddCounter(prefix + "sim_core.fallback_events",
                         report.sim_fallback_events);
+    registry.AddCounter(prefix + "tokens.prefill_processed",
+                        report.prefill_tokens_processed);
+    registry.AddCounter(prefix + "tokens.decode_processed",
+                        report.decode_tokens_processed);
+    registry.AddCounter(prefix + "kv_prefix.hits", report.prefix_hits);
+    registry.AddCounter(prefix + "kv_prefix.misses",
+                        report.prefix_misses);
+    registry.AddCounter(prefix + "kv_prefix.hit_blocks",
+                        report.prefix_hit_blocks);
+    registry.AddCounter(prefix + "kv_prefix.evicted_blocks",
+                        report.prefix_evicted_blocks);
+    registry.AddCounter(prefix + "kv_prefix.tokens_saved",
+                        report.prefix_tokens_saved);
+    registry.SetGauge(prefix + "kv_prefix.cached_blocks",
+                      static_cast<double>(report.prefix_cached_blocks));
+    registry.SetGauge(prefix + "kv_prefix.shared_blocks",
+                      static_cast<double>(report.prefix_shared_blocks));
     FillSampleStats(report.ttft, registry, prefix + "ttft");
     FillSampleStats(report.tbt, registry, prefix + "tbt");
     FillSampleStats(report.latency, registry, prefix + "latency");

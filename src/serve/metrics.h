@@ -77,6 +77,40 @@ struct MetricsReport
 
     /** Stepwise-oracle events (fallbacks or ExactOracle runs). */
     long sim_fallback_events = 0;
+
+    // ---- token accounting + prefix cache (docs/DESIGN.md S2.6) ----
+    // Processed counts measure work actually executed; with the
+    // prefix cache on, processed prefill shrinks by exactly
+    // prefix_tokens_saved (the fig15 P:D-ratio shift). The prefix_*
+    // fields stay zero when ServingConfig::prefix_cache_enabled is
+    // off.
+
+    /** Prefill tokens executed in chunks (cache hits excluded). */
+    long prefill_tokens_processed = 0;
+
+    /** Output tokens emitted. */
+    long decode_tokens_processed = 0;
+
+    /** Hashable admissions that matched >= 1 cached block. */
+    long prefix_hits = 0;
+
+    /** Hashable admissions that matched nothing. */
+    long prefix_misses = 0;
+
+    /** Blocks served from cache across all hits. */
+    long prefix_hit_blocks = 0;
+
+    /** Cached blocks reclaimed by LRU eviction under pressure. */
+    long prefix_evicted_blocks = 0;
+
+    /** Gauge: blocks cached at the end of the run. */
+    long prefix_cached_blocks = 0;
+
+    /** Gauge: cached blocks shared by >= 2 requests at the end. */
+    long prefix_shared_blocks = 0;
+
+    /** Prefill tokens admissions skipped thanks to cache hits. */
+    long prefix_tokens_saved = 0;
 };
 
 /** Build a report from final request states. */

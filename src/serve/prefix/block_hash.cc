@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Implementation of block-granular prompt hashing.
+ */
+#include "serve/prefix/block_hash.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pod::serve::prefix {
+
+std::vector<uint64_t>
+BlockHashes(const Request& request, int block_size)
+{
+    POD_CHECK_ARG(block_size >= 1, "block size must be >= 1");
+    if (request.prompt.empty()) return {};
+
+    long total = 0;
+    for (const PromptSegment& seg : request.prompt) {
+        POD_CHECK_ARG(seg.tokens >= 1,
+                      "prompt segments must be non-empty");
+        total += seg.tokens;
+    }
+    POD_CHECK_ARG(total == request.prefill_tokens,
+                  "prompt segments must sum to prefill_tokens");
+
+    // Fold segment pieces into a running hash; emit it at every block
+    // boundary. The running value carries across blocks, which is the
+    // chaining: h_k depends on every piece of blocks 0..k.
+    const long full_blocks =
+        static_cast<long>(request.prefill_tokens) / block_size;
+    std::vector<uint64_t> hashes;
+    hashes.reserve(static_cast<size_t>(full_blocks));
+    uint64_t h = HashTag("pod.prefix.block");
+    int filled = 0;
+    size_t seg = 0;
+    int seg_off = 0;
+    while (static_cast<long>(hashes.size()) < full_blocks) {
+        const PromptSegment& s = request.prompt[seg];
+        int take = std::min(s.tokens - seg_off, block_size - filled);
+        h = MixHash(h, s.content_id);
+        h = MixHash(h, static_cast<uint64_t>(seg_off));
+        h = MixHash(h, static_cast<uint64_t>(take));
+        seg_off += take;
+        filled += take;
+        if (seg_off == s.tokens) {
+            ++seg;
+            seg_off = 0;
+        }
+        if (filled == block_size) {
+            hashes.push_back(h);
+            filled = 0;
+        }
+    }
+    return hashes;
+}
+
+}  // namespace pod::serve::prefix

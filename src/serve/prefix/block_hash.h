@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Content hashes for KV-block-granular prefix identity
+ * (docs/DESIGN.md S2.6).
+ *
+ * Following vLLM's automatic prefix caching, every *full* block of a
+ * request's prompt gets a chained content hash: block k's hash folds
+ * block k-1's hash together with the identities of the prompt
+ * segments covering tokens [k*block_size, (k+1)*block_size). Chaining
+ * means two requests' hash streams are equal exactly up to their
+ * longest shared prompt prefix and permanently distinct afterwards,
+ * so a radix tree keyed on these hashes (serve/prefix/prefix_cache.h)
+ * is automatically prefix-closed. The trailing partial block is never
+ * hashed — only full blocks are cacheable.
+ *
+ * All mixing is explicit arithmetic (no std::hash), so hash values —
+ * and everything routed or cached by them — are identical across
+ * platforms and standard libraries.
+ */
+#ifndef POD_SERVE_PREFIX_BLOCK_HASH_H
+#define POD_SERVE_PREFIX_BLOCK_HASH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace pod::serve::prefix {
+
+/** SplitMix64 finalizer: fold one value into a running hash. */
+inline uint64_t
+MixHash(uint64_t h, uint64_t v)
+{
+    uint64_t z = h + 0x9E3779B97F4A7C15ull + v;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** FNV-1a over a string literal: stable tag -> seed for content ids. */
+inline uint64_t
+HashTag(const char* tag)
+{
+    uint64_t h = 0xCBF29CE484222325ull;
+    for (const char* p = tag; *p != '\0'; ++p) {
+        h = (h ^ static_cast<uint64_t>(*p)) * 0x100000001B3ull;
+    }
+    return h;
+}
+
+/** Derive a content id from a tag and up to two indices. */
+inline uint64_t
+ContentId(const char* tag, uint64_t a, uint64_t b = 0)
+{
+    return MixHash(MixHash(HashTag(tag), a), b);
+}
+
+/**
+ * Chained per-block content hashes of a request's prompt, one per
+ * full block (prefill_tokens / block_size entries). Empty for opaque
+ * prompts (Request::prompt empty). Fatal if the segment lengths do
+ * not sum to prefill_tokens.
+ */
+std::vector<uint64_t> BlockHashes(const Request& request, int block_size);
+
+}  // namespace pod::serve::prefix
+
+#endif  // POD_SERVE_PREFIX_BLOCK_HASH_H

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Implementation of the prefix-caching KV allocation policy.
+ */
+#include "serve/prefix/prefix_allocator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "serve/prefix/block_hash.h"
+
+namespace pod::serve::prefix {
+
+PrefixCachingKvAllocator::PrefixCachingKvAllocator(KvPolicy base_policy,
+                                                   long total_blocks,
+                                                   int block_size,
+                                                   double watermark,
+                                                   PreemptMode preempt_mode)
+    : KvAllocator(total_blocks, block_size),
+      base_policy_(base_policy),
+      watermark_(base_policy == KvPolicy::kWatermark ? watermark : 0.0),
+      watermark_blocks_(static_cast<long>(watermark_ * total_blocks))
+{
+    POD_CHECK_ARG(watermark_ >= 0.0 && watermark_ < 1.0,
+                  "kv_watermark must be in [0, 1)");
+    // Swap would park shared blocks on the host while other live
+    // requests still reference them on-device (see the file comment
+    // in prefix_allocator.h).
+    POD_CHECK_ARG(base_policy == KvPolicy::kConservative ||
+                      preempt_mode == PreemptMode::kRecompute,
+                  "prefix caching requires recompute preemption");
+}
+
+const std::vector<uint64_t>&
+PrefixCachingKvAllocator::HashesFor(const RequestState& state)
+{
+    auto it = hashes_.find(state.request.id);
+    if (it == hashes_.end()) {
+        it = hashes_
+                 .emplace(state.request.id,
+                          BlockHashes(state.request, pool_.BlockSize()))
+                 .first;
+    }
+    return it->second;
+}
+
+bool
+PrefixCachingKvAllocator::TryAdmit(const RequestState& state)
+{
+    const int id = state.request.id;
+    last_admit_cached_tokens_ = 0;
+    // Recompute is the only supported preemption, so the swapped
+    // phase can never arrive here.
+    POD_ASSERT(state.phase != Phase::kPreemptedSwapped);
+    if (base_policy_ == KvPolicy::kConservative) {
+        POD_ASSERT(state.phase == Phase::kQueued);
+    }
+
+    const std::vector<uint64_t>& hashes = HashesFor(state);
+    // Never serve the entire prefill from cache: at least one prompt
+    // token must actually run so first-token timing stays defined
+    // (vLLM clamps a full hit the same way).
+    long max_match =
+        hashes.empty()
+            ? 0
+            : std::min<long>(
+                  static_cast<long>(hashes.size()),
+                  static_cast<long>((state.PrefillTarget() - 1) /
+                                    pool_.BlockSize()));
+    long matched = max_match > 0 ? cache_.MatchBlocks(hashes, max_match) : 0;
+
+    // The base policy's reservation, minus what the cache covers.
+    long policy_blocks =
+        base_policy_ == KvPolicy::kConservative
+            ? pool_.BlocksFor(state.request.prefill_tokens +
+                              state.request.decode_tokens)
+            : pool_.BlocksFor(state.PrefillTarget());
+    long needed = policy_blocks - matched;
+    POD_ASSERT(needed >= 1);  // the clamp leaves >= 1 private block
+
+    if (pool_.FreeBlocks() - needed < watermark_blocks_) {
+        // Under the admission gate: reclaim dead cache blocks before
+        // giving up. Reference the matched chain first so the LRU
+        // sweep cannot eat the very prefix this admission hit.
+        long deficit = watermark_blocks_ + needed - pool_.FreeBlocks();
+        if (matched > 0) cache_.Acquire(id, hashes, matched);
+        pool_.ReleaseShared(cache_.EvictLru(deficit));
+        if (pool_.FreeBlocks() - needed < watermark_blocks_) {
+            if (matched > 0) cache_.Release(id, hashes);
+            return false;
+        }
+    } else if (matched > 0) {
+        cache_.Acquire(id, hashes, matched);
+    }
+
+    bool ok = pool_.ReserveBlocks(id, needed);
+    POD_ASSERT(ok);  // the gate check implies it fits
+    shared_cover_[id] = matched;
+    last_admit_cached_tokens_ =
+        static_cast<int>(matched) * pool_.BlockSize();
+
+    if (!hashes.empty()) {
+        PrefixCacheStats& s = cache_.Stats();
+        if (matched > 0) {
+            ++s.hits;
+            s.hit_blocks += matched;
+            s.prefill_tokens_saved += last_admit_cached_tokens_;
+        } else {
+            ++s.misses;
+        }
+    }
+    return true;
+}
+
+long
+PrefixCachingKvAllocator::AppendNeed(const RequestState& state) const
+{
+    auto it = shared_cover_.find(state.request.id);
+    long cover = it != shared_cover_.end() ? it->second : 0;
+    return pool_.BlocksFor(state.ContextLen() + 1) - cover -
+           pool_.Held(state.request.id);
+}
+
+bool
+PrefixCachingKvAllocator::CanAppend(const RequestState& state) const
+{
+    // Dead cache subtrees count as headroom: Append() reclaims them
+    // before growing, so a block parked at refcount 0 never forces a
+    // preemption. Under a conservative base `need` is always <= 0:
+    // the admission reserved cache-covered + private blocks for the
+    // full context.
+    long need = AppendNeed(state);
+    return need <= 0 ||
+           pool_.FreeBlocks() + cache_.EvictableBlocks() >= need;
+}
+
+void
+PrefixCachingKvAllocator::Append(const RequestState& state)
+{
+    long need = AppendNeed(state);
+    if (need <= 0) return;
+    if (pool_.FreeBlocks() < need) {
+        pool_.ReleaseShared(cache_.EvictLru(need - pool_.FreeBlocks()));
+    }
+    bool ok = pool_.Grow(state.request.id, need);
+    POD_ASSERT_MSG(ok, "Append() without CanAppend() on request %d",
+                   state.request.id);
+}
+
+long
+PrefixCachingKvAllocator::Evict(const RequestState& state, PreemptMode mode)
+{
+    POD_CHECK_ARG(mode == PreemptMode::kRecompute,
+                  "prefix caching only supports recompute preemption");
+    const int id = state.request.id;
+    long blocks = pool_.Free(id);
+    auto it = hashes_.find(id);
+    if (it != hashes_.end()) cache_.Release(id, it->second);
+    shared_cover_.erase(id);
+    // hashes_ survives: a recompute re-admission re-matches the same
+    // chain without recomputing it.
+    return blocks;
+}
+
+void
+PrefixCachingKvAllocator::Release(int request_id)
+{
+    pool_.Free(request_id);
+    auto it = hashes_.find(request_id);
+    if (it != hashes_.end()) {
+        cache_.Release(request_id, it->second);
+        hashes_.erase(it);
+    }
+    shared_cover_.erase(request_id);
+}
+
+void
+PrefixCachingKvAllocator::CheckFits(const RequestState& state) const
+{
+    // Worst case the whole context is private (nothing shared), so
+    // the bound matches the base policy's. Cached blocks never
+    // tighten it: any block not referenced by this request alone is
+    // evictable once every other holder is preempted.
+    POD_CHECK_ARG(pool_.BlocksFor(state.request.prefill_tokens +
+                                  state.request.decode_tokens) +
+                          watermark_blocks_ <=
+                      pool_.TotalBlocks(),
+                  "request larger than the KV pool minus the "
+                  "admission watermark");
+}
+
+void
+PrefixCachingKvAllocator::OnPrefillComplete(const RequestState& state)
+{
+    const int id = state.request.id;
+    auto it = hashes_.find(id);
+    if (it == hashes_.end() || it->second.empty()) return;
+    const std::vector<uint64_t>& hashes = it->second;
+
+    // Promote the prompt's blocks: newly cached runs move from the
+    // request's private account into the shared account; runs some
+    // earlier request already cached are duplicates, and dropping
+    // the private copies is exactly the copy-on-write win. Both fit
+    // inside the admission reservation because the hash chain only
+    // covers full prompt blocks. Idempotent across a recompute
+    // re-prefill: prior coverage keeps its references and only the
+    // evicted-meanwhile remainder is re-promoted.
+    PrefixCache::InsertResult result = cache_.InsertAndRef(id, hashes);
+    if (result.new_blocks > 0) pool_.TransferToShared(id, result.new_blocks);
+    if (result.dedup_blocks > 0) pool_.Shrink(id, result.dedup_blocks);
+    shared_cover_[id] = static_cast<long>(hashes.size());
+}
+
+std::string
+PrefixCachingKvAllocator::Name() const
+{
+    return base_policy_ == KvPolicy::kConservative ? "conservative+prefix"
+                                                   : "watermark+prefix";
+}
+
+void
+PrefixCachingKvAllocator::AuditLedger() const
+{
+    pool_.CheckLedger();
+    cache_.CheckIntegrity();
+    POD_ASSERT(cache_.TotalBlocks() == pool_.SharedBlocks());
+    for (const auto& [id, cover] : shared_cover_) {
+        POD_ASSERT(cache_.RefBlocks(id) == cover);
+    }
+}
+
+}  // namespace pod::serve::prefix

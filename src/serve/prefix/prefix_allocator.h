@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Prefix-caching KV allocation policy (docs/DESIGN.md S2.6).
+ *
+ * Wraps either base policy (conservative or watermark) around the
+ * radix prefix cache: admission first matches the request's chained
+ * block hashes against the cache and only reserves private blocks
+ * for the unmatched remainder, so a hit converts prefill work into
+ * decode-shaped work (the paper's fig15 P:D shift). When the
+ * prompt's prefill completes, its blocks migrate into the pool's
+ * shared account and the tree; duplicates already cached by an
+ * earlier request are dropped. Under pool pressure — admission gate
+ * or decode growth — refcount-0 cache subtrees are LRU-evicted
+ * before any running request is preempted.
+ *
+ * Interaction with the preemption paths: only PreemptMode::kRecompute
+ * is supported under the watermark base. Swap would park a victim's
+ * *shared* blocks on the host while other live requests still
+ * reference them on-device, splitting one block's identity in two;
+ * recompute simply drops the references (the nodes stay cached at
+ * refcount 0, so re-admission usually re-matches and the recompute
+ * is cheap). The scheduler's frontmost-decoder guarantee survives:
+ * after evicting every other decoder, all cached blocks not
+ * referenced by the frontmost request have refcount 0, so
+ * free + evictable >= CheckFits' worst-case footprint.
+ */
+#ifndef POD_SERVE_PREFIX_PREFIX_ALLOCATOR_H
+#define POD_SERVE_PREFIX_PREFIX_ALLOCATOR_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/kv_allocator.h"
+#include "serve/prefix/prefix_cache.h"
+
+namespace pod::serve::prefix {
+
+/** KvAllocator with vLLM/SGLang-style automatic prefix caching. */
+class PrefixCachingKvAllocator : public KvAllocator
+{
+  public:
+    /**
+     * @param base_policy admission/growth semantics to wrap
+     *        (kConservative: full up-front reservation, never
+     *        preempts; kWatermark: vLLM watermark admission +
+     *        incremental growth + recompute preemption).
+     * @param watermark admission watermark fraction (kWatermark
+     *        base only; ignored — forced to 0 — for kConservative).
+     * @param preempt_mode must be kRecompute for a kWatermark base.
+     */
+    PrefixCachingKvAllocator(KvPolicy base_policy, long total_blocks,
+                             int block_size, double watermark,
+                             PreemptMode preempt_mode);
+
+    bool TryAdmit(const RequestState& state) override;
+    bool CanAppend(const RequestState& state) const override;
+    void Append(const RequestState& state) override;
+    long Evict(const RequestState& state, PreemptMode mode) override;
+    void Release(int request_id) override;
+    void CheckFits(const RequestState& state) const override;
+
+    PreemptMode preempt_mode() const override
+    {
+        return PreemptMode::kRecompute;
+    }
+
+    double WatermarkFraction() const override { return watermark_; }
+
+    std::string Name() const override;
+
+    int LastAdmitCachedTokens() const override
+    {
+        return last_admit_cached_tokens_;
+    }
+
+    void OnPrefillComplete(const RequestState& state) override;
+
+    const PrefixCacheStats* PrefixStats() const override
+    {
+        return &cache_.Stats();
+    }
+
+    /** The underlying radix tree (tests, benches). */
+    const PrefixCache& Cache() const { return cache_; }
+
+    /**
+     * Audit every cross-structure invariant: the pool ledger, the
+     * tree's internal counters, and the cache-vs-shared-account
+     * lockstep (tree blocks == pool shared blocks, per-request
+     * coverage == recorded shared cover). Fatal on drift. O(tree).
+     */
+    void AuditLedger() const;
+
+  private:
+    /** Hash chain for a request, computed once and cached by id. */
+    const std::vector<uint64_t>& HashesFor(const RequestState& state);
+
+    /** Blocks the next materialized token needs beyond private +
+     * cache-covered blocks. */
+    long AppendNeed(const RequestState& state) const;
+
+    KvPolicy base_policy_;
+    double watermark_;
+    long watermark_blocks_;
+    PrefixCache cache_;
+    int last_admit_cached_tokens_ = 0;
+
+    /** Hash chains of in-flight requests (admission .. release). */
+    std::unordered_map<int, std::vector<uint64_t>> hashes_;
+
+    /** Context blocks covered by cache references, per request. */
+    std::unordered_map<int, long> shared_cover_;
+};
+
+}  // namespace pod::serve::prefix
+
+#endif  // POD_SERVE_PREFIX_PREFIX_ALLOCATOR_H

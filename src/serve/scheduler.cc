@@ -39,15 +39,24 @@ PlanAdmissions(double now, std::vector<RequestState>& requests,
                                    : PreemptMode::kRecompute;
             if (!kv.TryAdmit(state)) break;
             state.phase = Phase::kRunning;
+            // A prefix hit credits cached prompt tokens as already
+            // prefilled; the engine folds the same figure out of its
+            // pending-work counters via the recorded transition.
+            int cached = kv.LastAdmitCachedTokens();
+            if (cached > 0) state.prefilled = cached;
             decision.restores.push_back(SchedulingDecision::Transition{
-                static_cast<int>(i), mode, kv.Held(state.request.id)});
+                static_cast<int>(i), mode, kv.Held(state.request.id),
+                cached});
             continue;
         }
         if (state.request.arrival_time > now) break;  // sorted by arrival
         kv.CheckFits(state);
         if (!kv.TryAdmit(state)) break;
         state.phase = Phase::kRunning;
-        decision.admissions.push_back(static_cast<int>(i));
+        int cached = kv.LastAdmitCachedTokens();
+        if (cached > 0) state.prefilled = cached;
+        decision.admissions.push_back(SchedulingDecision::Admission{
+            static_cast<int>(i), cached});
         admitted_end = std::max(admitted_end, i + 1);
     }
     // FCFS invariant: everything at or past the watermark was never

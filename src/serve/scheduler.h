@@ -79,12 +79,27 @@ struct SchedulingDecision
         int req_index = 0;
         PreemptMode mode = PreemptMode::kRecompute;
         long blocks = 0;
+
+        /** Prompt tokens the re-admission served from a prefix cache
+         * (already credited to state.prefilled; 0 on preemptions and
+         * under cacheless policies). */
+        int cached_tokens = 0;
+    };
+
+    /** A request entering the running set for the first time. */
+    struct Admission
+    {
+        int req_index = 0;
+
+        /** Prompt tokens served from a prefix cache (already
+         * credited to state.prefilled; 0 under cacheless policies). */
+        int cached_tokens = 0;
     };
 
     ScheduledBatch batch;
 
     /** Queued -> Running, in admission (FCFS) order. */
-    std::vector<int> admissions;
+    std::vector<Admission> admissions;
 
     /** Preempted* -> Running, in restore order. */
     std::vector<Transition> restores;

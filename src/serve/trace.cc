@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "serve/prefix/block_hash.h"
 
 namespace pod::serve {
 
@@ -98,6 +99,121 @@ PdRatioTrace(int count, int total_tokens, double pd_ratio)
         req.decode_tokens = std::max(1, static_cast<int>(decode));
         req.prefill_tokens =
             std::max(1, total_tokens - req.decode_tokens);
+    }
+    return requests;
+}
+
+SessionWorkloadSpec
+SessionWorkloadSpec::Chat()
+{
+    return SessionWorkloadSpec{};
+}
+
+std::vector<Request>
+GenerateSessionTrace(const SessionWorkloadSpec& spec, int num_sessions,
+                     double qps, Rng& rng)
+{
+    POD_CHECK_ARG(num_sessions > 0, "trace needs at least one session");
+    POD_CHECK_ARG(spec.num_system_prompts >= 1,
+                  "need at least one system prompt");
+    POD_CHECK_ARG(spec.share_ratio >= 0.0 && spec.share_ratio <= 1.0,
+                  "share_ratio must be in [0, 1]");
+    POD_CHECK_ARG(spec.system_tokens_min >= 1 &&
+                      spec.system_tokens_max >= spec.system_tokens_min,
+                  "system prompt token range is empty");
+    POD_CHECK_ARG(spec.min_turns >= 1 &&
+                      spec.max_turns >= spec.min_turns,
+                  "turn range is empty");
+    POD_CHECK_ARG(spec.think_time_mean > 0.0,
+                  "think time must be positive");
+
+    // Zipf popularity over the shared pool: weight 1/(k+1)^s.
+    std::vector<double> zipf(
+        static_cast<size_t>(spec.num_system_prompts));
+    for (int k = 0; k < spec.num_system_prompts; ++k) {
+        zipf[static_cast<size_t>(k)] =
+            1.0 / std::pow(static_cast<double>(k + 1), spec.zipf_s);
+    }
+    // Pool prompt lengths are a pure function of the prompt index so
+    // every session replaying prompt k sends identical content.
+    auto pool_tokens = [&spec](int k) {
+        uint64_t span = static_cast<uint64_t>(spec.system_tokens_max -
+                                              spec.system_tokens_min) +
+                        1;
+        return spec.system_tokens_min +
+               static_cast<int>(
+                   prefix::ContentId("sys-len",
+                                     static_cast<uint64_t>(k)) %
+                   span);
+    };
+
+    std::vector<Request> requests;
+    double session_start = 0.0;
+    for (int m = 0; m < num_sessions; ++m) {
+        if (qps > 0.0) session_start += rng.Exponential(qps);
+
+        // Opening context: shared pool prompt or unique preamble.
+        PromptSegment opening;
+        if (rng.Bernoulli(spec.share_ratio)) {
+            int k = static_cast<int>(rng.Weighted(zipf));
+            opening.content_id =
+                prefix::ContentId("sys", static_cast<uint64_t>(k));
+            opening.tokens = pool_tokens(k);
+        } else {
+            opening.content_id =
+                prefix::ContentId("uniq", static_cast<uint64_t>(m));
+            opening.tokens = static_cast<int>(
+                rng.UniformInt(spec.system_tokens_min,
+                               spec.system_tokens_max));
+        }
+
+        int turns = static_cast<int>(
+            rng.UniformInt(spec.min_turns, spec.max_turns));
+        std::vector<PromptSegment> history{opening};
+        double arrival = session_start;
+        for (int j = 0; j < turns; ++j) {
+            int user_tokens = static_cast<int>(Clamp(
+                rng.LogNormalByMoments(spec.user_mean, spec.user_stddev),
+                static_cast<double>(spec.user_min),
+                static_cast<double>(spec.user_max)));
+            history.push_back(PromptSegment{
+                prefix::ContentId("user", static_cast<uint64_t>(m),
+                                  static_cast<uint64_t>(j)),
+                user_tokens});
+
+            Request req;
+            req.arrival_time = arrival;
+            req.prompt = history;
+            req.prefill_tokens = 0;
+            for (const PromptSegment& seg : req.prompt) {
+                req.prefill_tokens += seg.tokens;
+            }
+            req.decode_tokens = static_cast<int>(Clamp(
+                rng.LogNormalByMoments(spec.decode_mean,
+                                       spec.decode_stddev),
+                static_cast<double>(spec.decode_min),
+                static_cast<double>(spec.decode_max)));
+            req.session_id = m;
+            req.turn = j;
+            requests.push_back(std::move(req));
+
+            // The next turn replays this turn's response verbatim.
+            history.push_back(PromptSegment{
+                prefix::ContentId("resp", static_cast<uint64_t>(m),
+                                  static_cast<uint64_t>(j)),
+                requests.back().decode_tokens});
+            arrival += rng.Exponential(1.0 / spec.think_time_mean);
+        }
+    }
+
+    // Interleave sessions into one arrival-ordered trace; ids follow
+    // arrival order so engine Submit() ordering holds trivially.
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const Request& a, const Request& b) {
+                         return a.arrival_time < b.arrival_time;
+                     });
+    for (size_t i = 0; i < requests.size(); ++i) {
+        requests[i].id = static_cast<int>(i);
     }
     return requests;
 }

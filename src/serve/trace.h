@@ -71,6 +71,84 @@ std::vector<Request> UniformTrace(int count, int prefill_tokens,
 std::vector<Request> PdRatioTrace(int count, int total_tokens,
                                   double pd_ratio);
 
+/**
+ * Parameters of a session-structured workload (serve/prefix/): chat
+ * sessions opening with a system prompt drawn Zipf-style from a
+ * shared pool, then multi-turn exchanges where every turn's prompt
+ * re-sends the whole conversation so far. The sharing structure is
+ * expressed through Request::prompt segments, which the prefix cache
+ * hashes into block identities; every pre-existing generator emits
+ * opaque prompts instead, so only session traces can produce cache
+ * hits.
+ */
+struct SessionWorkloadSpec
+{
+    std::string name = "chat";
+
+    /** Distinct shared system prompts in the pool. */
+    int num_system_prompts = 32;
+
+    /** Zipf popularity skew: prompt k is drawn with weight
+     * 1 / (k+1)^zipf_s. */
+    double zipf_s = 1.1;
+
+    /**
+     * Probability a session opens with a pool system prompt. The
+     * complement opens with a session-unique preamble (no sharing),
+     * so 0 makes every prompt effectively opaque to the cache.
+     */
+    double share_ratio = 0.5;
+
+    /**
+     * System-prompt / preamble length range. Pool prompt k's length
+     * is a deterministic function of k (two sessions sharing a
+     * prompt must agree on its tokens); unique preambles draw
+     * uniformly.
+     */
+    int system_tokens_min = 1024;
+    int system_tokens_max = 4096;
+
+    /** Per-turn user message length (log-normal, clamped). */
+    double user_mean = 256.0;
+    double user_stddev = 128.0;
+    int user_min = 16;
+    int user_max = 2048;
+
+    /** Per-turn response length (log-normal, clamped). This is the
+     * turn's decode_tokens AND the size of the response segment the
+     * next turn's prompt replays. */
+    double decode_mean = 256.0;
+    double decode_stddev = 128.0;
+    int decode_min = 16;
+    int decode_max = 1024;
+
+    /** Turns per session (uniform in [min_turns, max_turns]). */
+    int min_turns = 1;
+    int max_turns = 4;
+
+    /** Mean user think time between a turn's arrival and the next
+     * (exponential, seconds). */
+    double think_time_mean = 4.0;
+
+    /** Defaults above: a chat-assistant workload with heavyweight
+     * system prompts and light per-turn messages. */
+    static SessionWorkloadSpec Chat();
+};
+
+/**
+ * Generate `num_sessions` sessions with Poisson session starts at
+ * rate `qps` (qps <= 0: all sessions start at t=0) and exponential
+ * think-time gaps between turns. Turn j's prompt is the full
+ * conversation prefix [system][user_0][resp_0]...[user_j], so
+ * consecutive turns of one session share a growing prefix and
+ * sessions sharing a system prompt share its blocks. Requests are
+ * returned in arrival order with ids 0..N-1 in that order, and carry
+ * session_id / turn for affinity routing.
+ */
+std::vector<Request> GenerateSessionTrace(const SessionWorkloadSpec& spec,
+                                          int num_sessions, double qps,
+                                          Rng& rng);
+
 }  // namespace pod::serve
 
 #endif  // POD_SERVE_TRACE_H

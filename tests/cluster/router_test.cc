@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "serve/prefix/block_hash.h"
+
 namespace pod::cluster {
 namespace {
 
@@ -98,6 +100,74 @@ TEST(PreemptionAwareRouterTest, AvoidsThrashingReplicas)
     replicas[2].preempted = 1;
     replicas[0].preempted = 1;
     EXPECT_EQ(router.Route(Req(100), replicas), 0);
+}
+
+TEST(PrefixAffinityRouterTest, SteersSharedPrefixesToOneReplica)
+{
+    PrefixAffinityRouter router(16);
+    std::vector<serve::ReplicaSnapshot> replicas = {
+        Snap(0, 0, 0.6, 0), Snap(1, 0, 0.1, 0), Snap(2, 0, 0.3, 0)};
+
+    auto with_prompt = [](uint64_t sys, uint64_t user) {
+        serve::Request request;
+        request.prefill_tokens = 128;
+        request.decode_tokens = 32;
+        request.prompt = {{sys, 64}, {user, 64}};
+        return request;
+    };
+    uint64_t sys = serve::prefix::ContentId("sys", 1);
+
+    // Cold start: no prefix anywhere -> least KV pressure.
+    int first = router.Route(with_prompt(sys, 100), replicas);
+    EXPECT_EQ(first, 1);
+
+    // Same system prompt follows the prefix even though replica 1 is
+    // now the most pressured.
+    replicas[1].kv_pressure = 0.9;
+    EXPECT_EQ(router.Route(with_prompt(sys, 101), replicas), 1);
+
+    // A different system prompt sees no match and places by pressure.
+    uint64_t other = serve::prefix::ContentId("sys", 2);
+    EXPECT_EQ(router.Route(with_prompt(other, 102), replicas), 2);
+
+    // Opaque prompts always fall back to least KV pressure.
+    serve::Request opaque;
+    opaque.prefill_tokens = 128;
+    opaque.decode_tokens = 32;
+    EXPECT_EQ(router.Route(opaque, replicas), 2);
+
+    // Reset forgets the routed prefixes: back to the cold path.
+    router.Reset();
+    replicas[1].kv_pressure = 0.1;
+    EXPECT_EQ(router.Route(with_prompt(sys, 103), replicas), 1);
+}
+
+TEST(PrefixAffinityRouterTest, LongestMatchBeatsShorterOnes)
+{
+    PrefixAffinityRouter router(16);
+    std::vector<serve::ReplicaSnapshot> replicas = {
+        Snap(0, 0, 0.0, 0), Snap(1, 0, 0.5, 0)};
+    uint64_t sys = serve::prefix::ContentId("sys", 7);
+
+    // Replica 0 saw only the system prompt; replica 1 saw a full
+    // two-segment conversation. (Force placement by pressure.)
+    serve::Request short_req;
+    short_req.prefill_tokens = 64;
+    short_req.decode_tokens = 8;
+    short_req.prompt = {{sys, 64}};
+    EXPECT_EQ(router.Route(short_req, replicas), 0);
+
+    serve::Request long_req;
+    long_req.prefill_tokens = 128;
+    long_req.decode_tokens = 8;
+    long_req.prompt = {{sys, 64}, {serve::prefix::ContentId("u", 1), 64}};
+    replicas[0].kv_pressure = 1.0;  // pressure would say replica 1...
+    EXPECT_EQ(router.Route(long_req, replicas), 0);  // ...prefix wins
+
+    // Now replica 0 holds the full 8-block chain; a request matching
+    // all of it prefers replica 0 over any shorter match elsewhere.
+    serve::Request replay = long_req;
+    EXPECT_EQ(router.Route(replay, replicas), 0);
 }
 
 TEST(MakeRouterTest, BuildsEveryNamedPolicy)

@@ -33,7 +33,7 @@ TEST(FailureInjection, RequestLargerThanPoolIsFatal)
     // instead of spinning forever.
     ConservativeKvAllocator kv(4, 16);  // 64 tokens total
     std::vector<RequestState> states(1);
-    states[0].request = Request{0, 0.0, 1000, 10};
+    states[0].request = Request{0, 0.0, 1000, 10, {}, -1, 0};
     SarathiScheduler sched(512);
     EXPECT_EXIT(sched.Next(0.0, states, kv, 0),
                 ::testing::ExitedWithCode(1), "FATAL");
@@ -47,7 +47,7 @@ TEST(FailureInjection, OversizedRequestFatalUnderWatermarkToo)
     // fatal.
     WatermarkKvAllocator kv(4, 16, 0.25, PreemptMode::kRecompute);
     std::vector<RequestState> states(1);
-    states[0].request = Request{0, 0.0, 40, 20};  // 60 tok + 1 wm block
+    states[0].request = Request{0, 0.0, 40, 20, {}, -1, 0};  // 60 tok + 1 wm block
     SarathiScheduler sched(512);
     EXPECT_EXIT(sched.Next(0.0, states, kv, 0),
                 ::testing::ExitedWithCode(1), "FATAL");
@@ -61,11 +61,11 @@ TEST(FailureInjection, HeadOfLineBlockingUnderMemoryPressure)
     ConservativeKvAllocator kv(100, 16);  // 1600 tokens
     // Resident tenant holding 20 blocks.
     RequestState tenant;
-    tenant.request = Request{99, 0.0, 310, 10};  // 320 tokens
+    tenant.request = Request{99, 0.0, 310, 10, {}, -1, 0};  // 320 tokens
     ASSERT_TRUE(kv.TryAdmit(tenant));
     std::vector<RequestState> states(2);
-    states[0].request = Request{0, 0.0, 1300, 100};  // needs 1400 > free
-    states[1].request = Request{1, 0.0, 100, 10};    // would fit
+    states[0].request = Request{0, 0.0, 1300, 100, {}, -1, 0};  // needs 1400 > free
+    states[1].request = Request{1, 0.0, 100, 10, {}, -1, 0};    // would fit
     SarathiScheduler sched(512);
     SchedulingDecision decision = sched.Next(0.0, states, kv, 0);
     EXPECT_FALSE(states[0].Admitted());

@@ -125,5 +125,68 @@ TEST(BlockKvManagerDeathTest, GrowWithoutReservation)
     EXPECT_EXIT(kv.Grow(5, 1), ::testing::ExitedWithCode(1), "FATAL");
 }
 
+// ---- shared account (prefix cache; docs/DESIGN.md S2.6) ----
+
+TEST(BlockKvManagerSharedTest, ReserveAndReleaseShared)
+{
+    BlockKvManager kv(10, 16);
+    EXPECT_TRUE(kv.ReserveShared(4));
+    EXPECT_EQ(kv.SharedBlocks(), 4);
+    EXPECT_EQ(kv.UsedBlocks(), 4);  // shared counts as used
+    EXPECT_FALSE(kv.ReserveShared(7));  // only 6 free
+    EXPECT_EQ(kv.SharedBlocks(), 4);    // failed reserve is a no-op
+    kv.ReleaseShared(3);
+    EXPECT_EQ(kv.SharedBlocks(), 1);
+    EXPECT_EQ(kv.FreeBlocks(), 9);
+    kv.CheckLedger();
+}
+
+TEST(BlockKvManagerSharedTest, TransferRelabelsPrivateAsShared)
+{
+    BlockKvManager kv(10, 16);
+    ASSERT_TRUE(kv.ReserveBlocks(1, 6));
+    kv.TransferToShared(1, 4);
+    EXPECT_EQ(kv.Held(1), 2);
+    EXPECT_EQ(kv.SharedBlocks(), 4);
+    EXPECT_EQ(kv.UsedBlocks(), 6);  // a relabel, not an allocation
+    kv.CheckLedger();
+
+    // A request fully promoted still owns its (empty) entry: Free()
+    // works exactly once and frees its remaining private blocks.
+    kv.TransferToShared(1, 2);
+    EXPECT_EQ(kv.Held(1), 0);
+    EXPECT_EQ(kv.Free(1), 0);
+    EXPECT_EQ(kv.SharedBlocks(), 6);
+    kv.CheckLedger();
+}
+
+TEST(BlockKvManagerSharedTest, ShrinkDropsDuplicatePrivateBlocks)
+{
+    BlockKvManager kv(10, 16);
+    ASSERT_TRUE(kv.ReserveBlocks(1, 6));
+    kv.Shrink(1, 4);
+    EXPECT_EQ(kv.Held(1), 2);
+    EXPECT_EQ(kv.FreeBlocks(), 8);
+    EXPECT_EQ(kv.SharedBlocks(), 0);  // shrink frees, never shares
+    kv.CheckLedger();
+}
+
+TEST(BlockKvManagerSharedDeathTest, SharedOverflowAndDoubleFree)
+{
+    BlockKvManager kv(10, 16);
+    ASSERT_TRUE(kv.ReserveShared(4));
+    // Releasing more than the account holds is a double-free.
+    EXPECT_EXIT(kv.ReleaseShared(5), ::testing::ExitedWithCode(1),
+                "FATAL");
+    // Transferring more than the request holds is an overflow.
+    ASSERT_TRUE(kv.ReserveBlocks(1, 2));
+    EXPECT_EXIT(kv.TransferToShared(1, 3), ::testing::ExitedWithCode(1),
+                "FATAL");
+    EXPECT_EXIT(kv.Shrink(1, 3), ::testing::ExitedWithCode(1), "FATAL");
+    // Transfers from a request that never reserved are fatal too.
+    EXPECT_EXIT(kv.TransferToShared(9, 1), ::testing::ExitedWithCode(1),
+                "FATAL");
+}
+
 }  // namespace
 }  // namespace pod::serve

@@ -29,7 +29,7 @@ RequestState
 MakeState(int id, int prefill_tokens, int decode_tokens)
 {
     RequestState state;
-    state.request = Request{id, 0.0, prefill_tokens, decode_tokens};
+    state.request = Request{id, 0.0, prefill_tokens, decode_tokens, {}, -1, 0};
     return state;
 }
 

@@ -154,7 +154,7 @@ TEST(VllmSchedulerTest, PrefillPriorityPausesDecodes)
 
     // ...until a new request arrives: prefill preempts decodes.
     states.push_back(RequestState{});
-    states.back().request = Request{2, 0.5, 800, 10};
+    states.back().request = Request{2, 0.5, 800, 10, {}, -1, 0};
     ScheduledBatch b3 = sched.Next(2.0, states, kv, 0).batch;
     ASSERT_EQ(b3.prefills.size(), 1u);
     EXPECT_EQ(b3.prefills[0].chunk_len, 800);
@@ -380,7 +380,7 @@ TEST(ServingEngineTest, SnapshotTracksQueueAndKv)
     EXPECT_EQ(empty.kv_utilization, 0.0);
     EXPECT_GT(empty.kv_total_blocks, 0);
 
-    Request request{0, 0.0, 4096, 64};
+    Request request{0, 0.0, 4096, 64, {}, -1, 0};
     engine.Submit(request);
     ReplicaSnapshot queued = engine.Snapshot();
     EXPECT_EQ(queued.submitted, 1);
@@ -431,7 +431,7 @@ TEST(MetricsTest, ZeroRequestRunIsFiniteZeros)
 TEST(MetricsTest, SingleRequestRunIsFinite)
 {
     std::vector<RequestState> states(1);
-    states[0].request = Request{0, 0.0, 100, 1};
+    states[0].request = Request{0, 0.0, 100, 1, {}, -1, 0};
     states[0].prefilled = 100;
     states[0].decoded = 1;
     states[0].phase = Phase::kFinished;

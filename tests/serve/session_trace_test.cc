@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the session-aware workload generator
+ * (serve::GenerateSessionTrace): determinism, arrival ordering,
+ * multi-turn prefix containment (turn j's prompt is a strict segment
+ * prefix of turn j+1's), response-replay sizing, and the Zipf-shared
+ * system-prompt pool the prefix cache feeds on.
+ */
+#include "serve/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/prefix/block_hash.h"
+
+namespace pod::serve {
+namespace {
+
+SessionWorkloadSpec
+SmallSpec()
+{
+    SessionWorkloadSpec spec = SessionWorkloadSpec::Chat();
+    spec.system_tokens_min = 256;
+    spec.system_tokens_max = 512;
+    spec.num_system_prompts = 4;
+    spec.min_turns = 1;
+    spec.max_turns = 4;
+    return spec;
+}
+
+/** Requests of one session ordered by turn. */
+std::map<int, std::vector<const Request*>>
+BySession(const std::vector<Request>& trace)
+{
+    std::map<int, std::vector<const Request*>> sessions;
+    for (const Request& r : trace) {
+        sessions[r.session_id].push_back(&r);
+    }
+    for (auto& [id, turns] : sessions) {
+        (void)id;
+        std::sort(turns.begin(), turns.end(),
+                  [](const Request* a, const Request* b) {
+                      return a->turn < b->turn;
+                  });
+    }
+    return sessions;
+}
+
+TEST(SessionTraceTest, SameSeedSameTrace)
+{
+    Rng a(7), b(7);
+    auto ta = GenerateSessionTrace(SmallSpec(), 12, 2.0, a);
+    auto tb = GenerateSessionTrace(SmallSpec(), 12, 2.0, b);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta[i].id, tb[i].id);
+        EXPECT_EQ(ta[i].arrival_time, tb[i].arrival_time);
+        EXPECT_EQ(ta[i].prefill_tokens, tb[i].prefill_tokens);
+        EXPECT_EQ(ta[i].decode_tokens, tb[i].decode_tokens);
+        EXPECT_EQ(ta[i].session_id, tb[i].session_id);
+        EXPECT_EQ(ta[i].turn, tb[i].turn);
+        ASSERT_EQ(ta[i].prompt.size(), tb[i].prompt.size());
+        for (size_t s = 0; s < ta[i].prompt.size(); ++s) {
+            EXPECT_EQ(ta[i].prompt[s].content_id,
+                      tb[i].prompt[s].content_id);
+            EXPECT_EQ(ta[i].prompt[s].tokens, tb[i].prompt[s].tokens);
+        }
+    }
+}
+
+TEST(SessionTraceTest, ArrivalOrderedWithSequentialIds)
+{
+    Rng rng(11);
+    auto trace = GenerateSessionTrace(SmallSpec(), 16, 4.0, rng);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].id, static_cast<int>(i));
+        if (i > 0) {
+            EXPECT_GE(trace[i].arrival_time, trace[i - 1].arrival_time);
+        }
+        // Prompt segments must sum to the prefill length.
+        int sum = 0;
+        for (const PromptSegment& seg : trace[i].prompt) {
+            sum += seg.tokens;
+        }
+        EXPECT_EQ(sum, trace[i].prefill_tokens);
+        EXPECT_GE(trace[i].decode_tokens, 1);
+    }
+}
+
+TEST(SessionTraceTest, TurnPromptsAreStrictPrefixExtensions)
+{
+    Rng rng(13);
+    SessionWorkloadSpec spec = SmallSpec();
+    spec.min_turns = 2;  // guarantee multi-turn sessions
+    auto trace = GenerateSessionTrace(spec, 10, 2.0, rng);
+    auto sessions = BySession(trace);
+    int multi_turn = 0;
+    for (const auto& [id, turns] : sessions) {
+        (void)id;
+        for (size_t j = 0; j + 1 < turns.size(); ++j) {
+            ++multi_turn;
+            const Request* cur = turns[j];
+            const Request* next = turns[j + 1];
+            EXPECT_EQ(cur->turn + 1, next->turn);
+            EXPECT_LE(cur->arrival_time, next->arrival_time);
+            // Turn j: [sys][u0][r0]...[uj]; turn j+1 appends [rj] and
+            // [u_{j+1}], so the segment list extends by exactly two.
+            ASSERT_EQ(cur->prompt.size() + 2, next->prompt.size());
+            for (size_t s = 0; s < cur->prompt.size(); ++s) {
+                EXPECT_EQ(cur->prompt[s].content_id,
+                          next->prompt[s].content_id);
+                EXPECT_EQ(cur->prompt[s].tokens, next->prompt[s].tokens);
+            }
+            // The replayed response is sized by this turn's decode.
+            const PromptSegment& resp = next->prompt[cur->prompt.size()];
+            EXPECT_EQ(resp.tokens, cur->decode_tokens);
+
+            // Block-hash view: the earlier turn's chain is a strict
+            // prefix of the later one's — exactly what the radix
+            // cache and affinity router key on.
+            auto hc = prefix::BlockHashes(*cur, 16);
+            auto hn = prefix::BlockHashes(*next, 16);
+            ASSERT_LE(hc.size(), hn.size());
+            for (size_t h = 0; h < hc.size(); ++h) {
+                EXPECT_EQ(hc[h], hn[h]);
+            }
+        }
+    }
+    EXPECT_GT(multi_turn, 0);
+}
+
+TEST(SessionTraceTest, ShareRatioControlsOpeningSegmentReuse)
+{
+    const int sessions = 64;
+
+    // share 1: every session opens with one of the 4 pool prompts,
+    // and two sessions drawing the same prompt agree on its content
+    // id AND length.
+    Rng shared_rng(17);
+    SessionWorkloadSpec spec = SmallSpec();
+    spec.share_ratio = 1.0;
+    auto shared = GenerateSessionTrace(spec, sessions, 0.0, shared_rng);
+    std::set<uint64_t> opening_ids;
+    std::map<uint64_t, int> opening_tokens;
+    for (const Request& r : shared) {
+        ASSERT_FALSE(r.prompt.empty());
+        opening_ids.insert(r.prompt[0].content_id);
+        auto [it, inserted] = opening_tokens.emplace(
+            r.prompt[0].content_id, r.prompt[0].tokens);
+        EXPECT_EQ(it->second, r.prompt[0].tokens);
+        (void)inserted;
+    }
+    EXPECT_LE(opening_ids.size(), 4u);
+    EXPECT_GE(opening_ids.size(), 2u);  // 64 sessions hit > 1 prompt
+
+    // share 0: every session's opening segment is unique.
+    Rng unique_rng(17);
+    spec.share_ratio = 0.0;
+    auto unique = GenerateSessionTrace(spec, sessions, 0.0, unique_rng);
+    auto by_session = BySession(unique);
+    std::set<uint64_t> unique_ids;
+    for (const auto& [id, turns] : by_session) {
+        (void)id;
+        unique_ids.insert(turns[0]->prompt[0].content_id);
+    }
+    EXPECT_EQ(unique_ids.size(), by_session.size());
+}
+
+TEST(SessionTraceTest, ZipfSkewFavorsTheHeadPrompt)
+{
+    // With a strong skew the most popular prompt must dominate: its
+    // weight is 1 / sum_k (1/(k+1)^3) > 0.8 of the pool at s=3.
+    SessionWorkloadSpec spec = SmallSpec();
+    spec.share_ratio = 1.0;
+    spec.zipf_s = 3.0;
+    Rng rng(23);
+    auto trace = GenerateSessionTrace(spec, 96, 0.0, rng);
+    auto sessions = BySession(trace);
+    std::map<uint64_t, int> counts;
+    for (const auto& [id, turns] : sessions) {
+        (void)id;
+        ++counts[turns[0]->prompt[0].content_id];
+    }
+    int top = 0;
+    for (const auto& [cid, n] : counts) {
+        (void)cid;
+        top = std::max(top, n);
+    }
+    EXPECT_GT(top, static_cast<int>(sessions.size()) / 2);
+}
+
+TEST(SessionTraceTest, ZeroQpsStartsEverySessionAtTimeZero)
+{
+    SessionWorkloadSpec spec = SmallSpec();
+    Rng rng(29);
+    auto trace = GenerateSessionTrace(spec, 8, 0.0, rng);
+    auto sessions = BySession(trace);
+    EXPECT_EQ(sessions.size(), 8u);
+    for (const auto& [id, turns] : sessions) {
+        (void)id;
+        EXPECT_EQ(turns[0]->arrival_time, 0.0);
+    }
+}
+
+TEST(SessionTraceDeathTest, RejectsInvalidSpecs)
+{
+    Rng rng(1);
+    SessionWorkloadSpec spec = SmallSpec();
+    EXPECT_EXIT(GenerateSessionTrace(spec, 0, 1.0, rng),
+                ::testing::ExitedWithCode(1), "FATAL");
+    spec.share_ratio = 1.5;
+    EXPECT_EXIT(GenerateSessionTrace(spec, 4, 1.0, rng),
+                ::testing::ExitedWithCode(1), "FATAL");
+    spec = SmallSpec();
+    spec.min_turns = 0;
+    EXPECT_EXIT(GenerateSessionTrace(spec, 4, 1.0, rng),
+                ::testing::ExitedWithCode(1), "FATAL");
+}
+
+}  // namespace
+}  // namespace pod::serve
